@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation: resource sensitivity of the optimized kernels.
+ *
+ * Sweeps the design parameters the paper's 4W+ / 8W+ discussion turns
+ * on: the number of dedicated SBox caches, the number of rotator/XBOX
+ * units, and the issue width. Exposes the saturation effects the
+ * paper reports (Rijndael/Twofish pinned at 4 IPC on 4W+, SBox-cache
+ * bandwidth mattering for the substitution ciphers only).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using namespace cryptarch::bench;
+using kernels::KernelVariant;
+using sim::MachineConfig;
+
+void
+sweepSboxCaches()
+{
+    std::printf("SBox cache count (optimized kernels, 4-wide core, "
+                "bytes/1000 cycles):\n\n%-10s", "Cipher");
+    const unsigned counts[] = {0, 1, 2, 4, 8};
+    for (unsigned c : counts)
+        std::printf("%9u", c);
+    std::printf("\n%.56s\n",
+                "--------------------------------------------------------");
+    for (auto id : {crypto::CipherId::Blowfish, crypto::CipherId::Rijndael,
+                    crypto::CipherId::Twofish, crypto::CipherId::MARS,
+                    crypto::CipherId::IDEA}) {
+        std::printf("%-10s", crypto::cipherInfo(id).name.c_str());
+        for (unsigned c : counts) {
+            MachineConfig cfg = MachineConfig::fourWidePlus();
+            cfg.numSboxCaches = c;
+            cfg.name = "4W+" + std::to_string(c) + "sb";
+            auto s = timeKernel(id, KernelVariant::Optimized, cfg);
+            std::printf("%9.1f", bytesPerKiloCycle(s.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+sweepIssueWidth()
+{
+    std::printf("Issue width (optimized kernels, 4W+ resources scaled, "
+                "bytes/1000 cycles):\n\n%-10s", "Cipher");
+    const unsigned widths[] = {2, 4, 8, 16};
+    for (unsigned w : widths)
+        std::printf("%9u", w);
+    std::printf("\n%.46s\n",
+                "----------------------------------------------");
+    for (auto id : allCiphers()) {
+        std::printf("%-10s", crypto::cipherInfo(id).name.c_str());
+        for (unsigned w : widths) {
+            MachineConfig cfg = MachineConfig::fourWidePlus();
+            cfg.issueWidth = w;
+            cfg.fetchWidth = w;
+            cfg.fetchBlocksPerCycle = (w + 3) / 4;
+            cfg.numIntAlu = w;
+            cfg.numRotUnits = w;
+            cfg.mulHalfSlots = w / 2;
+            cfg.numDCachePorts = (w + 1) / 2;
+            cfg.windowSize = 32 * w;
+            cfg.name = std::to_string(w) + "-wide";
+            auto s = timeKernel(id, KernelVariant::Optimized, cfg);
+            std::printf("%9.1f", bytesPerKiloCycle(s.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+sweepRotators()
+{
+    std::printf("Rotator/XBOX units (optimized kernels, 4-wide core, "
+                "bytes/1000 cycles):\n\n%-10s", "Cipher");
+    const unsigned counts[] = {1, 2, 4, 8};
+    for (unsigned c : counts)
+        std::printf("%9u", c);
+    std::printf("\n%.46s\n",
+                "----------------------------------------------");
+    for (auto id : {crypto::CipherId::MARS, crypto::CipherId::RC6,
+                    crypto::CipherId::Twofish,
+                    crypto::CipherId::TripleDES}) {
+        std::printf("%-10s", crypto::cipherInfo(id).name.c_str());
+        for (unsigned c : counts) {
+            MachineConfig cfg = MachineConfig::fourWidePlus();
+            cfg.numRotUnits = c;
+            cfg.name = std::to_string(c) + "rot";
+            auto s = timeKernel(id, KernelVariant::Optimized, cfg);
+            std::printf("%9.1f", bytesPerKiloCycle(s.cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Resource ablations for the optimized cipher kernels\n"
+                "====================================================\n\n");
+    sweepSboxCaches();
+    sweepRotators();
+    sweepIssueWidth();
+    return 0;
+}

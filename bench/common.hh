@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches.
+ *
+ * Every bench uses the same deterministic key/IV/plaintext material
+ * (seeded xorshift) and the paper's 4 KB session length unless a
+ * figure calls for a sweep.
+ */
+
+#ifndef CRYPTARCH_BENCH_COMMON_HH
+#define CRYPTARCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crypto/cipher.hh"
+#include "kernels/kernel.hh"
+#include "sim/pipeline.hh"
+#include "util/xorshift.hh"
+
+namespace cryptarch::bench
+{
+
+/** The paper's standard session length (section 4.2). */
+constexpr size_t session_bytes = 4096;
+
+/** Deterministic key material for a cipher. */
+struct Workload
+{
+    std::vector<uint8_t> key;
+    std::vector<uint8_t> iv;
+    std::vector<uint8_t> plaintext;
+};
+
+inline Workload
+makeWorkload(crypto::CipherId id, size_t bytes = session_bytes,
+             uint64_t seed = 0xBE7CB)
+{
+    const auto &info = crypto::cipherInfo(id);
+    util::Xorshift64 rng(seed + static_cast<uint64_t>(id));
+    Workload w;
+    w.key = rng.bytes(info.keyBits / 8);
+    w.iv = rng.bytes(info.isStream ? 0 : info.blockBytes);
+    w.plaintext = rng.bytes(bytes);
+    return w;
+}
+
+/** Build a kernel, run it functionally, and time it on @p cfg. */
+inline sim::SimStats
+timeKernel(crypto::CipherId id, kernels::KernelVariant variant,
+           const sim::MachineConfig &cfg, size_t bytes = session_bytes)
+{
+    Workload w = makeWorkload(id, bytes);
+    auto build = kernels::buildKernel(id, variant, w.key, w.iv, bytes);
+    isa::Machine m;
+    build.install(m, kernels::toWordImage(id, w.plaintext));
+    sim::OooScheduler sched(cfg);
+    m.run(build.program, &sched, 1ull << 32);
+    return sched.finish();
+}
+
+/** Dynamic instruction count of a kernel run (the 1-CPI machine). */
+inline uint64_t
+countInsts(crypto::CipherId id, kernels::KernelVariant variant,
+           size_t bytes = session_bytes)
+{
+    Workload w = makeWorkload(id, bytes);
+    auto build = kernels::buildKernel(id, variant, w.key, w.iv, bytes);
+    isa::Machine m;
+    build.install(m, kernels::toWordImage(id, w.plaintext));
+    return m.run(build.program, nullptr, 1ull << 32).instructions;
+}
+
+/** bytes encrypted per 1000 cycles (the paper's Figure 4 metric). */
+inline double
+bytesPerKiloCycle(uint64_t cycles, size_t bytes = session_bytes)
+{
+    return 1000.0 * static_cast<double>(bytes)
+        / static_cast<double>(cycles);
+}
+
+/** All eight cipher ids in Table 1 order. */
+inline std::vector<crypto::CipherId>
+allCiphers()
+{
+    std::vector<crypto::CipherId> ids;
+    for (const auto &info : crypto::cipherCatalog())
+        ids.push_back(info.id);
+    return ids;
+}
+
+} // namespace cryptarch::bench
+
+#endif // CRYPTARCH_BENCH_COMMON_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerates paper Figure 7: characterization of cipher kernel
+ * operations — the fraction of dynamic instructions in each hand-
+ * classified category.
+ *
+ * Paper shape: two algorithm families — computational ciphers (IDEA,
+ * RC6) dominated by arithmetic/multiplies, and substitution ciphers
+ * (Blowfish, 3DES, Rijndael, Twofish) dominated by S-box accesses.
+ * 3DES additionally shows the only Permute component.
+ *
+ * With --value-prediction the section 4.3 experiment runs instead: an
+ * infinite last-value predictor over every kernel instruction (paper
+ * result: the most predictable dependence edge is right only 6.3% of
+ * the time).
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "sim/value_pred.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using namespace cryptarch::bench;
+
+void
+opMixReport()
+{
+    std::printf("Figure 7. Characterization of Cipher Kernel "
+                "Operations\n(%% of dynamic instructions, original "
+                "kernels with rotates, 4KB session).\n\n");
+    std::printf("%-10s", "Cipher");
+    for (unsigned c = 0; c < kernels::num_op_categories; c++) {
+        std::printf("%8.7s",
+                    kernels::categoryName(
+                        static_cast<kernels::OpCategory>(c))
+                        .c_str());
+    }
+    std::printf("\n%.76s\n",
+                "----------------------------------------------------"
+                "------------------------");
+
+    for (auto id : allCiphers()) {
+        const auto &info = crypto::cipherInfo(id);
+        Workload w = makeWorkload(id);
+        auto build = kernels::buildKernel(
+            id, kernels::KernelVariant::BaselineRot, w.key, w.iv,
+            session_bytes);
+        isa::Machine m;
+        build.install(m, kernels::toWordImage(id, w.plaintext));
+        kernels::OpMixCounter mix(build);
+        m.run(build.program, &mix, 1ull << 32);
+
+        std::printf("%-10s", info.name.c_str());
+        for (unsigned c = 0; c < kernels::num_op_categories; c++) {
+            std::printf("%7.1f%%",
+                        100.0 * mix.fraction(
+                            static_cast<kernels::OpCategory>(c)));
+        }
+        std::printf("\n");
+    }
+}
+
+void
+valuePredictionReport()
+{
+    std::printf("Section 4.3 experiment: infinite last-value predictor "
+                "over kernel instructions.\n(Paper: best dependence "
+                "edge predictable only 6.3%% of the time.)\n\n");
+    std::printf("%-10s %14s %10s %12s\n", "Cipher", "best data edge",
+                "mean", "invariant");
+    std::printf("%.50s\n",
+                "--------------------------------------------------");
+    for (auto id : allCiphers()) {
+        const auto &info = crypto::cipherInfo(id);
+        Workload w = makeWorkload(id);
+        auto build = kernels::buildKernel(
+            id, kernels::KernelVariant::BaselineRot, w.key, w.iv,
+            session_bytes);
+        isa::Machine m;
+        build.install(m, kernels::toWordImage(id, w.plaintext));
+        sim::LastValuePredictor lvp;
+        m.run(build.program, &lvp, 1ull << 32);
+        std::printf("%-10s %13.1f%% %9.1f%% %12llu\n",
+                    info.name.c_str(),
+                    100.0 * lvp.bestPredictability(64, true),
+                    100.0 * lvp.meanPredictability(),
+                    static_cast<unsigned long long>(
+                        lvp.invariantCount()));
+    }
+    std::printf("\n(\"best data edge\" excludes loop-invariant "
+                "instructions — reloads of round\nkeys and table bases "
+                "that are trivially predictable but sit on no cipher\n"
+                "dependence chain. Diffusion makes everything else "
+                "unpredictable, ruling\nout value speculation, as the "
+                "paper concludes.)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--value-prediction") == 0)
+        valuePredictionReport();
+    else
+        opMixReport();
+    return 0;
+}

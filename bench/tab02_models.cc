@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates paper Table 2: the four microarchitecture models.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace
+{
+
+using cryptarch::sim::MachineConfig;
+using cryptarch::sim::unlimited;
+
+std::string
+num(unsigned v)
+{
+    return v == unlimited ? "inf" : std::to_string(v);
+}
+
+} // namespace
+
+int
+main()
+{
+    using cryptarch::sim::MachineConfig;
+
+    MachineConfig models[4] = {
+        MachineConfig::fourWide(),
+        MachineConfig::fourWidePlus(),
+        MachineConfig::eightWidePlus(),
+        MachineConfig::dataflow(),
+    };
+
+    std::printf("Table 2. Microarchitecture Models.\n\n");
+    std::printf("%-26s", "");
+    for (const auto &m : models)
+        std::printf("%10s", m.name.c_str());
+    std::printf("\n%.70s\n",
+                "----------------------------------------------------"
+                "------------------");
+
+    auto row = [&](const char *label, auto get) {
+        std::printf("%-26s", label);
+        for (const auto &m : models)
+            std::printf("%10s", get(m).c_str());
+        std::printf("\n");
+    };
+
+    row("Fetch (blocks/cycle)", [](const MachineConfig &m) {
+        return num(m.fetchBlocksPerCycle);
+    });
+    row("Window Size", [](const MachineConfig &m) {
+        return num(m.windowSize);
+    });
+    row("Issue Width", [](const MachineConfig &m) {
+        return num(m.issueWidth);
+    });
+    row("IALU resources", [](const MachineConfig &m) {
+        return num(m.numIntAlu);
+    });
+    row("IMULT half-slots", [](const MachineConfig &m) {
+        return num(m.mulHalfSlots);
+    });
+    row("D-Cache Ports", [](const MachineConfig &m) {
+        return num(m.numDCachePorts);
+    });
+    row("SBox Caches", [](const MachineConfig &m) {
+        return m.perfectSbox ? std::string("inf")
+                             : num(m.numSboxCaches);
+    });
+    row("SBox Cache Ports", [](const MachineConfig &m) {
+        return m.perfectSbox ? std::string("inf")
+                             : num(m.sboxCachePorts);
+    });
+    row("Rotator/XBOX units", [](const MachineConfig &m) {
+        return num(m.numRotUnits);
+    });
+
+    std::printf(
+        "\nLatencies (cycles): ALU %u, 64-bit MUL %u, 32-bit MUL %u,\n"
+        "MULMOD %u, rotate/XBOX %u, load %u, SBOX-on-D-cache %u,\n"
+        "SBox cache %u. A 64-bit multiply consumes two half-slots; a\n"
+        "32-bit multiply or MULMOD consumes one (\"1-64 / 2-32 /\n"
+        "2-16mod per cycle\").\n",
+        models[0].aluLat, models[0].mulLat64, models[0].mulLat32,
+        models[0].mulmodLat, models[0].rotLat, models[0].loadLat,
+        models[0].sboxOnDcacheLat, models[0].sboxCacheLat);
+    return 0;
+}

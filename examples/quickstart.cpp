@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: encrypt and decrypt a message with the cipher library.
+ *
+ * Demonstrates the core public API: the cipher catalog, keyed block
+ * ciphers, CBC mode, and the RC4 stream cipher.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "crypto/cbc.hh"
+#include "crypto/cipher.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+int
+main()
+{
+    using namespace cryptarch;
+
+    // --- pick a cipher from the catalog ---
+    std::printf("cryptarch cipher suite:\n");
+    for (const auto &info : crypto::cipherCatalog()) {
+        std::printf("  %-9s %u-bit key, %2u-byte block, %2u rounds\n",
+                    info.name.c_str(), info.keyBits, info.blockBytes,
+                    info.rounds);
+    }
+
+    // --- block encryption in CBC mode (Twofish) ---
+    auto cipher = crypto::makeBlockCipher(crypto::CipherId::Twofish);
+    util::Xorshift64 rng(2024);
+    auto key = rng.bytes(cipher->info().keyBits / 8);
+    auto iv = rng.bytes(cipher->info().blockBytes);
+    cipher->setKey(key);
+
+    std::string message = "Architectural support for fast symmetric-"
+                          "key cryptography!";
+    // Pad to a whole number of blocks (zero padding for the demo).
+    std::vector<uint8_t> plaintext(message.begin(), message.end());
+    size_t bs = cipher->info().blockBytes;
+    plaintext.resize((plaintext.size() + bs - 1) / bs * bs, 0);
+
+    crypto::CbcEncryptor enc(*cipher, iv);
+    auto ciphertext = enc.encrypt(plaintext);
+    std::printf("\nTwofish-CBC key:        %s\n",
+                util::toHex(key).c_str());
+    std::printf("Twofish-CBC ciphertext: %s...\n",
+                util::toHex(ciphertext).substr(0, 48).c_str());
+
+    crypto::CbcDecryptor dec(*cipher, iv);
+    auto recovered = dec.decrypt(ciphertext);
+    std::printf("Decrypted:              %.*s\n",
+                static_cast<int>(message.size()),
+                reinterpret_cast<const char *>(recovered.data()));
+
+    // --- stream encryption (RC4) ---
+    auto rc4 = crypto::makeStreamCipher(crypto::CipherId::RC4);
+    rc4->setKey(key);
+    std::vector<uint8_t> stream_ct(message.size());
+    rc4->process(reinterpret_cast<const uint8_t *>(message.data()),
+                 stream_ct.data(), message.size());
+    std::printf("\nRC4 keystream ct:       %s...\n",
+                util::toHex(stream_ct).substr(0, 48).c_str());
+    rc4->setKey(key); // reset keystream
+    std::vector<uint8_t> stream_pt(message.size());
+    rc4->process(stream_ct.data(), stream_pt.data(), stream_ct.size());
+    std::printf("RC4 decrypted:          %.*s\n",
+                static_cast<int>(message.size()),
+                reinterpret_cast<const char *>(stream_pt.data()));
+
+    bool ok = std::equal(message.begin(), message.end(),
+                         recovered.begin())
+        && std::equal(message.begin(), message.end(),
+                      stream_pt.begin());
+    std::printf("\n%s\n", ok ? "roundtrips OK" : "ROUNDTRIP FAILED");
+    return ok ? 0 : 1;
+}

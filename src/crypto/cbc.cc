@@ -1,0 +1,73 @@
+#include "crypto/cbc.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cryptarch::crypto
+{
+
+CbcEncryptor::CbcEncryptor(const BlockCipher &cipher,
+                           std::span<const uint8_t> iv)
+    : cipher(cipher), iv(iv.begin(), iv.end())
+{
+    if (iv.size() != cipher.info().blockBytes)
+        throw std::invalid_argument("CbcEncryptor: IV size != block size");
+}
+
+void
+CbcEncryptor::encrypt(std::span<const uint8_t> in, std::span<uint8_t> out)
+{
+    const size_t bs = cipher.info().blockBytes;
+    if (in.size() % bs != 0 || out.size() < in.size())
+        throw std::invalid_argument("CbcEncryptor: bad buffer size");
+    std::vector<uint8_t> xored(bs);
+    for (size_t off = 0; off < in.size(); off += bs) {
+        for (size_t i = 0; i < bs; i++)
+            xored[i] = in[off + i] ^ iv[i];
+        cipher.encryptBlock(xored.data(), out.data() + off);
+        std::copy(out.begin() + off, out.begin() + off + bs, iv.begin());
+    }
+}
+
+std::vector<uint8_t>
+CbcEncryptor::encrypt(std::span<const uint8_t> in)
+{
+    std::vector<uint8_t> out(in.size());
+    encrypt(in, out);
+    return out;
+}
+
+CbcDecryptor::CbcDecryptor(const BlockCipher &cipher,
+                           std::span<const uint8_t> iv)
+    : cipher(cipher), iv(iv.begin(), iv.end())
+{
+    if (iv.size() != cipher.info().blockBytes)
+        throw std::invalid_argument("CbcDecryptor: IV size != block size");
+}
+
+void
+CbcDecryptor::decrypt(std::span<const uint8_t> in, std::span<uint8_t> out)
+{
+    const size_t bs = cipher.info().blockBytes;
+    if (in.size() % bs != 0 || out.size() < in.size())
+        throw std::invalid_argument("CbcDecryptor: bad buffer size");
+    std::vector<uint8_t> plain(bs);
+    std::vector<uint8_t> next_iv(bs);
+    for (size_t off = 0; off < in.size(); off += bs) {
+        std::copy(in.begin() + off, in.begin() + off + bs, next_iv.begin());
+        cipher.decryptBlock(in.data() + off, plain.data());
+        for (size_t i = 0; i < bs; i++)
+            out[off + i] = plain[i] ^ iv[i];
+        iv = next_iv;
+    }
+}
+
+std::vector<uint8_t>
+CbcDecryptor::decrypt(std::span<const uint8_t> in)
+{
+    std::vector<uint8_t> out(in.size());
+    decrypt(in, out);
+    return out;
+}
+
+} // namespace cryptarch::crypto

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Chaining-block-cipher (CBC) mode.
+ *
+ * The paper runs every block cipher in CBC mode: ciphertext block i is
+ * XOR'ed with plaintext block i+1 before encryption, making the whole
+ * session one long serial recurrence (paper section 2). The intermediate
+ * vector carries across calls so a session can be processed in pieces.
+ */
+
+#ifndef CRYPTARCH_CRYPTO_CBC_HH
+#define CRYPTARCH_CRYPTO_CBC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/cipher.hh"
+
+namespace cryptarch::crypto
+{
+
+/** CBC-mode encryptor wrapping a keyed block cipher. */
+class CbcEncryptor
+{
+  public:
+    /**
+     * @param cipher a keyed block cipher (must outlive this object)
+     * @param iv initial intermediate vector, cipher block size bytes
+     */
+    CbcEncryptor(const BlockCipher &cipher, std::span<const uint8_t> iv);
+
+    /**
+     * Encrypt a whole number of blocks in place of @p in into @p out.
+     * @p in size must be a multiple of the block size.
+     */
+    void encrypt(std::span<const uint8_t> in, std::span<uint8_t> out);
+
+    /** Convenience: encrypt and return a fresh buffer. */
+    std::vector<uint8_t> encrypt(std::span<const uint8_t> in);
+
+  private:
+    const BlockCipher &cipher;
+    std::vector<uint8_t> iv;
+};
+
+/** CBC-mode decryptor wrapping a keyed block cipher. */
+class CbcDecryptor
+{
+  public:
+    CbcDecryptor(const BlockCipher &cipher, std::span<const uint8_t> iv);
+
+    /** Decrypt a whole number of blocks. */
+    void decrypt(std::span<const uint8_t> in, std::span<uint8_t> out);
+
+    /** Convenience: decrypt and return a fresh buffer. */
+    std::vector<uint8_t> decrypt(std::span<const uint8_t> in);
+
+  private:
+    const BlockCipher &cipher;
+    std::vector<uint8_t> iv;
+};
+
+} // namespace cryptarch::crypto
+
+#endif // CRYPTARCH_CRYPTO_CBC_HH

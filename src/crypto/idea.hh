@@ -1,0 +1,60 @@
+/**
+ * @file
+ * IDEA block cipher (Lai & Massey, 1991).
+ *
+ * IDEA is the paper's poster child for the MULMOD instruction: its
+ * diffusion comes from multiplication modulo the prime 2^16 + 1 (with
+ * the convention that the all-zero operand represents 2^16). On the
+ * baseline machine each of the 34 modular multiplies per 64-bit block
+ * costs a 7-cycle multiply plus correction code; the MULMOD extension
+ * collapses the whole operation to 4 cycles, giving IDEA the best
+ * speedup in Figure 10 (159%).
+ */
+
+#ifndef CRYPTARCH_CRYPTO_IDEA_HH
+#define CRYPTARCH_CRYPTO_IDEA_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/cipher.hh"
+
+namespace cryptarch::crypto
+{
+
+/**
+ * IDEA multiplication modulo 0x10001 with the 0 == 2^16 convention.
+ * Public because the CryptISA MULMOD instruction and the IDEA kernel
+ * validate against it.
+ */
+uint16_t ideaMulMod(uint16_t a, uint16_t b);
+
+/** Multiplicative inverse modulo 0x10001 under the IDEA convention. */
+uint16_t ideaMulInverse(uint16_t a);
+
+/** IDEA with its fixed 128-bit key, 8.5 rounds. */
+class Idea : public BlockCipher
+{
+  public:
+    const CipherInfo &info() const override;
+    void setKey(std::span<const uint8_t> key) override;
+    void encryptBlock(const uint8_t *in, uint8_t *out) const override;
+    void decryptBlock(const uint8_t *in, uint8_t *out) const override;
+    uint64_t setupOpEstimate() const override;
+
+    /** The 52 expanded encryption subkeys, for the CryptISA kernel. */
+    const std::array<uint16_t, 52> &encryptKeys() const { return ek; }
+    /** The 52 expanded decryption subkeys. */
+    const std::array<uint16_t, 52> &decryptKeys() const { return dk; }
+
+  private:
+    static void applyKernel(const std::array<uint16_t, 52> &keys,
+                            const uint8_t *in, uint8_t *out);
+
+    std::array<uint16_t, 52> ek{};
+    std::array<uint16_t, 52> dk{};
+};
+
+} // namespace cryptarch::crypto
+
+#endif // CRYPTARCH_CRYPTO_IDEA_HH

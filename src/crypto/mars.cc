@@ -1,0 +1,284 @@
+#include "crypto/mars.hh"
+
+#include <stdexcept>
+
+#include "util/bitops.hh"
+#include "util/xorshift.hh"
+
+namespace cryptarch::crypto
+{
+
+using util::load32le;
+using util::rotl32;
+using util::rotr32;
+using util::store32le;
+
+namespace
+{
+
+/** Fixed words XOR'ed into the multiplicative-key fixing step. */
+constexpr uint32_t b_table[4] = {
+    0xA4A8D57B, 0x5B5D193B, 0xC8A8309B, 0x73F9A978,
+};
+
+/**
+ * Mask of bits eligible for fixing in a multiplicative key: bit l is
+ * set iff 2 <= l <= 30, its neighbours equal it, and it lies inside a
+ * run of at least ten consecutive equal bits.
+ */
+uint32_t
+fixingMask(uint32_t w)
+{
+    uint32_t mask = 0;
+    int run_start = 0;
+    auto bit = [&](int i) { return (w >> i) & 1; };
+    for (int i = 1; i <= 32; i++) {
+        if (i == 32 || bit(i) != bit(run_start)) {
+            int run_len = i - run_start;
+            if (run_len >= 10) {
+                for (int l = run_start; l < i; l++) {
+                    if (l >= 2 && l <= 30 && l > run_start
+                        && l < i - 1) {
+                        mask |= 1u << l;
+                    }
+                }
+            }
+            run_start = i;
+        }
+    }
+    return mask;
+}
+
+} // namespace
+
+const std::array<uint32_t, 512> &
+Mars::sbox()
+{
+    // Substituted table (see file header): deterministic, full-period
+    // pseudo-random words. The generation seed is fixed so ciphertext
+    // is stable across builds and the CryptISA kernel sees identical
+    // table contents.
+    static const auto table = [] {
+        std::array<uint32_t, 512> s{};
+        util::Xorshift64 rng(0x4D41525353424F58ull); // "MARSSBOX"
+        for (auto &w : s)
+            w = rng.next32();
+        return s;
+    }();
+    return table;
+}
+
+void
+Mars::eFunction(uint32_t in, uint32_t k_add, uint32_t k_mul, uint32_t &l,
+                uint32_t &m, uint32_t &r)
+{
+    const auto &s = sbox();
+    m = in + k_add;
+    r = rotl32(in, 13) * k_mul;
+    l = s[m & 0x1FF];
+    r = rotl32(r, 5);
+    m = rotl32(m, r & 31);
+    l ^= r;
+    r = rotl32(r, 5);
+    l ^= r;
+    l = rotl32(l, r & 31);
+}
+
+const CipherInfo &
+Mars::info() const
+{
+    return cipherInfo(CipherId::MARS);
+}
+
+void
+Mars::setKey(std::span<const uint8_t> key)
+{
+    if (key.size() != 16)
+        throw std::invalid_argument("Mars: key must be 16 bytes");
+
+    const auto &s = sbox();
+
+    // Linear fill, then four generations of stirring and extraction.
+    std::array<uint32_t, 15> t{};
+    for (int i = 0; i < 4; i++)
+        t[i] = load32le(key.data() + 4 * i);
+    t[4] = 4; // key length in words
+
+    for (int gen = 0; gen < 4; gen++) {
+        for (int i = 0; i < 15; i++) {
+            t[i] ^= rotl32(t[(i + 8) % 15] ^ t[(i + 13) % 15], 3)
+                ^ static_cast<uint32_t>(4 * i + gen);
+        }
+        for (int pass = 0; pass < 4; pass++) {
+            for (int i = 0; i < 15; i++)
+                t[i] = rotl32(t[i] + s[t[(i + 14) % 15] & 0x1FF], 9);
+        }
+        for (int i = 0; i < 10; i++)
+            k[10 * gen + i] = t[(4 * i) % 15];
+    }
+
+    // Fix the multiplicative keys (used by the E-function's 32-bit
+    // multiply, indices 5, 7, ..., 35): force the two low bits to 2|3
+    // and break up long runs of equal bits that weaken the multiply.
+    for (int i = 5; i <= 35; i += 2) {
+        uint32_t j = k[i] & 3;
+        uint32_t w = k[i] | 3;
+        uint32_t mask = fixingMask(w);
+        uint32_t rot = k[i - 1] & 31;
+        uint32_t p = rotl32(b_table[j], rot);
+        k[i] = w ^ (p & mask);
+    }
+}
+
+void
+Mars::encryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    const auto &s = sbox();
+    const uint32_t *s0 = s.data();       // S0: first 256 words
+    const uint32_t *s1 = s.data() + 256; // S1: second 256 words
+
+    uint32_t d[4];
+    for (int i = 0; i < 4; i++)
+        d[i] = load32le(in + 4 * i) + k[i];
+
+    // Forward mixing: 8 unkeyed rounds of S-box mixing.
+    for (int i = 0; i < 8; i++) {
+        d[1] ^= s0[d[0] & 0xFF];
+        d[1] += s1[(d[0] >> 8) & 0xFF];
+        d[2] += s0[(d[0] >> 16) & 0xFF];
+        d[3] ^= s1[(d[0] >> 24) & 0xFF];
+        d[0] = rotr32(d[0], 24);
+        if (i == 0 || i == 4)
+            d[0] += d[3];
+        if (i == 1 || i == 5)
+            d[0] += d[1];
+        uint32_t first = d[0];
+        d[0] = d[1];
+        d[1] = d[2];
+        d[2] = d[3];
+        d[3] = first;
+    }
+
+    // Cryptographic core: 8 rounds of forward mode, 8 of backwards.
+    for (int i = 0; i < 16; i++) {
+        uint32_t l, m, r;
+        eFunction(d[0], k[2 * i + 4], k[2 * i + 5], l, m, r);
+        d[0] = rotl32(d[0], 13);
+        d[2] += m;
+        if (i < 8) {
+            d[1] += l;
+            d[3] ^= r;
+        } else {
+            d[3] += l;
+            d[1] ^= r;
+        }
+        uint32_t first = d[0];
+        d[0] = d[1];
+        d[1] = d[2];
+        d[2] = d[3];
+        d[3] = first;
+    }
+
+    // Backwards mixing: 8 unkeyed rounds undoing the mixing bias.
+    for (int i = 0; i < 8; i++) {
+        if (i == 2 || i == 6)
+            d[0] -= d[3];
+        if (i == 3 || i == 7)
+            d[0] -= d[1];
+        d[1] ^= s1[d[0] & 0xFF];
+        d[2] -= s0[(d[0] >> 24) & 0xFF];
+        d[3] -= s1[(d[0] >> 16) & 0xFF];
+        d[3] ^= s0[(d[0] >> 8) & 0xFF];
+        d[0] = rotl32(d[0], 24);
+        uint32_t first = d[0];
+        d[0] = d[1];
+        d[1] = d[2];
+        d[2] = d[3];
+        d[3] = first;
+    }
+
+    for (int i = 0; i < 4; i++)
+        store32le(out + 4 * i, d[i] - k[36 + i]);
+}
+
+void
+Mars::decryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    const auto &s = sbox();
+    const uint32_t *s0 = s.data();
+    const uint32_t *s1 = s.data() + 256;
+
+    uint32_t d[4];
+    for (int i = 0; i < 4; i++)
+        d[i] = load32le(in + 4 * i) + k[36 + i];
+
+    // Invert the backwards mixing (run its rounds in reverse).
+    for (int i = 7; i >= 0; i--) {
+        uint32_t last = d[3];
+        d[3] = d[2];
+        d[2] = d[1];
+        d[1] = d[0];
+        d[0] = last;
+        d[0] = rotr32(d[0], 24);
+        d[3] ^= s0[(d[0] >> 8) & 0xFF];
+        d[3] += s1[(d[0] >> 16) & 0xFF];
+        d[2] += s0[(d[0] >> 24) & 0xFF];
+        d[1] ^= s1[d[0] & 0xFF];
+        if (i == 3 || i == 7)
+            d[0] += d[1];
+        if (i == 2 || i == 6)
+            d[0] += d[3];
+    }
+
+    // Invert the core.
+    for (int i = 15; i >= 0; i--) {
+        uint32_t last = d[3];
+        d[3] = d[2];
+        d[2] = d[1];
+        d[1] = d[0];
+        d[0] = last;
+        d[0] = rotr32(d[0], 13);
+        uint32_t l, m, r;
+        eFunction(d[0], k[2 * i + 4], k[2 * i + 5], l, m, r);
+        d[2] -= m;
+        if (i < 8) {
+            d[1] -= l;
+            d[3] ^= r;
+        } else {
+            d[3] -= l;
+            d[1] ^= r;
+        }
+    }
+
+    // Invert the forward mixing.
+    for (int i = 7; i >= 0; i--) {
+        uint32_t last = d[3];
+        d[3] = d[2];
+        d[2] = d[1];
+        d[1] = d[0];
+        d[0] = last;
+        if (i == 1 || i == 5)
+            d[0] -= d[1];
+        if (i == 0 || i == 4)
+            d[0] -= d[3];
+        d[0] = rotl32(d[0], 24);
+        d[3] ^= s1[(d[0] >> 24) & 0xFF];
+        d[2] -= s0[(d[0] >> 16) & 0xFF];
+        d[1] -= s1[(d[0] >> 8) & 0xFF];
+        d[1] ^= s0[d[0] & 0xFF];
+    }
+
+    for (int i = 0; i < 4; i++)
+        store32le(out + 4 * i, d[i] - k[i]);
+}
+
+uint64_t
+Mars::setupOpEstimate() const
+{
+    // Four generations of: a 15-word linear stir (~8 instructions per
+    // word), four 15-word S-box stirring passes (~9 each), and key
+    // extraction; plus 16 multiplicative-key fixups (~40 each).
+    return 4 * (15 * 8 + 4 * 15 * 9 + 10 * 2) + 16 * 40;
+}
+
+} // namespace cryptarch::crypto

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MARS block cipher (IBM, AES finalist).
+ *
+ * MARS is a "mixed structure" cipher: eight rounds of unkeyed S-box
+ * mixing, a 16-round keyed cryptographic core built around the
+ * E-function (a 32-bit multiply, an S-box lookup and two data-dependent
+ * rotates per round), then eight rounds of unkeyed unmixing. It is the
+ * heaviest rotate user in the suite — the paper measures a 40% slowdown
+ * on machines without rotate instructions (Figure 10, Orig/4W).
+ *
+ * SUBSTITUTION (see DESIGN.md 2.2): the official 512-word MARS S-box is
+ * a table of SHA-derived constants that cannot be regenerated from the
+ * paper. This implementation uses a deterministic xorshift-generated
+ * table with the same size and role. Every architectural property the
+ * paper measures (operation mix, table footprint, dependence structure)
+ * is preserved; interoperability with official MARS ciphertext is not,
+ * so MARS is validated structurally rather than by known-answer vectors.
+ */
+
+#ifndef CRYPTARCH_CRYPTO_MARS_HH
+#define CRYPTARCH_CRYPTO_MARS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/cipher.hh"
+
+namespace cryptarch::crypto
+{
+
+/** MARS with a 128-bit key: 8 + 16 + 8 rounds. */
+class Mars : public BlockCipher
+{
+  public:
+    const CipherInfo &info() const override;
+    void setKey(std::span<const uint8_t> key) override;
+    void encryptBlock(const uint8_t *in, uint8_t *out) const override;
+    void decryptBlock(const uint8_t *in, uint8_t *out) const override;
+    uint64_t setupOpEstimate() const override;
+
+    /** The 512-word S-box (S0 = first half, S1 = second half). */
+    static const std::array<uint32_t, 512> &sbox();
+
+    /** The 40 expanded subkeys, for the CryptISA kernel. */
+    const std::array<uint32_t, 40> &subkeys() const { return k; }
+
+    /**
+     * The keyed E-function: expands one data word into three using the
+     * round's additive subkey @p k_add and multiplicative subkey
+     * @p k_mul. Public for kernel cross-validation.
+     */
+    static void eFunction(uint32_t in, uint32_t k_add, uint32_t k_mul,
+                          uint32_t &l, uint32_t &m, uint32_t &r);
+
+  private:
+    std::array<uint32_t, 40> k{};
+};
+
+} // namespace cryptarch::crypto
+
+#endif // CRYPTARCH_CRYPTO_MARS_HH

@@ -1,0 +1,91 @@
+#include "crypto/modes.hh"
+
+#include <stdexcept>
+
+#include "util/bitops.hh"
+
+namespace cryptarch::crypto
+{
+
+void
+EcbEncryptor::encrypt(std::span<const uint8_t> in, std::span<uint8_t> out)
+{
+    const size_t bs = cipher.info().blockBytes;
+    if (in.size() % bs != 0 || out.size() < in.size())
+        throw std::invalid_argument("EcbEncryptor: bad buffer size");
+    for (size_t off = 0; off < in.size(); off += bs)
+        cipher.encryptBlock(in.data() + off, out.data() + off);
+}
+
+std::vector<uint8_t>
+EcbEncryptor::encrypt(std::span<const uint8_t> in)
+{
+    std::vector<uint8_t> out(in.size());
+    encrypt(in, out);
+    return out;
+}
+
+void
+EcbDecryptor::decrypt(std::span<const uint8_t> in, std::span<uint8_t> out)
+{
+    const size_t bs = cipher.info().blockBytes;
+    if (in.size() % bs != 0 || out.size() < in.size())
+        throw std::invalid_argument("EcbDecryptor: bad buffer size");
+    for (size_t off = 0; off < in.size(); off += bs)
+        cipher.decryptBlock(in.data() + off, out.data() + off);
+}
+
+std::vector<uint8_t>
+EcbDecryptor::decrypt(std::span<const uint8_t> in)
+{
+    std::vector<uint8_t> out(in.size());
+    decrypt(in, out);
+    return out;
+}
+
+CtrCipher::CtrCipher(const BlockCipher &cipher,
+                     std::span<const uint8_t> nonce)
+    : cipher(cipher)
+{
+    const size_t bs = cipher.info().blockBytes;
+    if (bs < 8)
+        throw std::invalid_argument(
+            "CtrCipher: block too small for a 4-byte counter");
+    if (nonce.size() != bs - 4)
+        throw std::invalid_argument(
+            "CtrCipher: nonce must be blockBytes - 4 bytes");
+    counterBlock.assign(nonce.begin(), nonce.end());
+    counterBlock.resize(bs, 0);
+    keystream.resize(bs);
+    used = keystream.size(); // force refill on first use
+}
+
+void
+CtrCipher::refill()
+{
+    const size_t bs = cipher.info().blockBytes;
+    util::store32be(counterBlock.data() + bs - 4, counter);
+    counter++;
+    cipher.encryptBlock(counterBlock.data(), keystream.data());
+    used = 0;
+}
+
+void
+CtrCipher::process(const uint8_t *in, uint8_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; i++) {
+        if (used == keystream.size())
+            refill();
+        out[i] = in[i] ^ keystream[used++];
+    }
+}
+
+std::vector<uint8_t>
+CtrCipher::process(std::span<const uint8_t> in)
+{
+    std::vector<uint8_t> out(in.size());
+    process(in.data(), out.data(), in.size());
+    return out;
+}
+
+} // namespace cryptarch::crypto

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Additional block-cipher modes: ECB and CTR.
+ *
+ * The paper runs everything in CBC ("nearly all applications use CBC
+ * mode"), which src/crypto/cbc.hh provides. ECB and CTR round out the
+ * library for downstream users: ECB is the raw per-block codebook
+ * (useful for key-schedule tests and as the paper's implicit mode for
+ * kernel microbenchmarks), and CTR turns any block cipher into a
+ * stream cipher whose blocks are independent — the parallelism
+ * contrast the paper draws against CBC's serial recurrence.
+ */
+
+#ifndef CRYPTARCH_CRYPTO_MODES_HH
+#define CRYPTARCH_CRYPTO_MODES_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/cipher.hh"
+
+namespace cryptarch::crypto
+{
+
+/** Electronic-codebook mode: independent per-block encryption. */
+class EcbEncryptor
+{
+  public:
+    explicit EcbEncryptor(const BlockCipher &cipher) : cipher(cipher) {}
+
+    /** Encrypt a whole number of blocks. */
+    void encrypt(std::span<const uint8_t> in, std::span<uint8_t> out);
+    std::vector<uint8_t> encrypt(std::span<const uint8_t> in);
+
+  private:
+    const BlockCipher &cipher;
+};
+
+/** Electronic-codebook mode decryptor. */
+class EcbDecryptor
+{
+  public:
+    explicit EcbDecryptor(const BlockCipher &cipher) : cipher(cipher) {}
+
+    void decrypt(std::span<const uint8_t> in, std::span<uint8_t> out);
+    std::vector<uint8_t> decrypt(std::span<const uint8_t> in);
+
+  private:
+    const BlockCipher &cipher;
+};
+
+/**
+ * Counter mode: XOR the input with E(nonce || counter). Encryption and
+ * decryption coincide; partial trailing blocks are supported. The
+ * counter occupies the last 4 bytes of the block, big-endian, starting
+ * at 0 and incremented per block; the nonce fills the leading bytes.
+ */
+class CtrCipher
+{
+  public:
+    /** @p nonce must be blockBytes - 4 bytes long. */
+    CtrCipher(const BlockCipher &cipher, std::span<const uint8_t> nonce);
+
+    /** XOR the keystream onto @p n bytes (stateful across calls). */
+    void process(const uint8_t *in, uint8_t *out, size_t n);
+
+    std::vector<uint8_t> process(std::span<const uint8_t> in);
+
+  private:
+    void refill();
+
+    const BlockCipher &cipher;
+    std::vector<uint8_t> counterBlock;
+    std::vector<uint8_t> keystream;
+    size_t used = 0;      ///< consumed bytes of the current keystream
+    uint32_t counter = 0; ///< next block counter value
+};
+
+} // namespace cryptarch::crypto
+
+#endif // CRYPTARCH_CRYPTO_MODES_HH

@@ -1,0 +1,259 @@
+#include "crypto/rijndael.hh"
+
+#include <stdexcept>
+
+#include "util/bitops.hh"
+
+namespace cryptarch::crypto
+{
+
+using util::load32be;
+using util::rotr32;
+using util::store32be;
+
+namespace
+{
+
+/** Multiply in GF(2^8) with the Rijndael polynomial x^8+x^4+x^3+x+1. */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t r = 0;
+    while (b) {
+        if (b & 1)
+            r ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1B;
+        b >>= 1;
+    }
+    return r;
+}
+
+/** Inverse in GF(2^8) (0 maps to 0), via exponentiation a^254. */
+uint8_t
+ginv(uint8_t a)
+{
+    if (a == 0)
+        return 0;
+    // a^254 = a^(2+4+8+16+32+64+128)
+    uint8_t result = 1, sq = a;
+    for (int bit = 1; bit < 8; bit++) {
+        sq = gmul(sq, sq);
+        result = gmul(result, sq);
+    }
+    return result;
+}
+
+} // namespace
+
+const std::array<uint8_t, 256> &
+Rijndael::sbox()
+{
+    static const auto table = [] {
+        std::array<uint8_t, 256> t{};
+        for (int x = 0; x < 256; x++) {
+            uint8_t b = ginv(static_cast<uint8_t>(x));
+            // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3)
+            // ^ rotl(b,4) ^ 0x63.
+            uint8_t r = 0x63;
+            for (int i = 0; i < 5; i++)
+                r ^= static_cast<uint8_t>((b << i) | (b >> (8 - i)));
+            t[x] = r;
+        }
+        return t;
+    }();
+    return table;
+}
+
+const std::array<uint8_t, 256> &
+Rijndael::invSbox()
+{
+    static const auto table = [] {
+        std::array<uint8_t, 256> t{};
+        const auto &s = sbox();
+        for (int x = 0; x < 256; x++)
+            t[s[x]] = static_cast<uint8_t>(x);
+        return t;
+    }();
+    return table;
+}
+
+const std::array<std::array<uint32_t, 256>, 4> &
+Rijndael::encTables()
+{
+    static const auto tables = [] {
+        std::array<std::array<uint32_t, 256>, 4> te{};
+        const auto &s = sbox();
+        for (int x = 0; x < 256; x++) {
+            uint8_t v = s[x];
+            uint32_t w = (static_cast<uint32_t>(gmul(v, 2)) << 24)
+                | (static_cast<uint32_t>(v) << 16)
+                | (static_cast<uint32_t>(v) << 8) | gmul(v, 3);
+            for (int j = 0; j < 4; j++)
+                te[j][x] = rotr32(w, 8 * j);
+        }
+        return te;
+    }();
+    return tables;
+}
+
+const std::array<std::array<uint32_t, 256>, 4> &
+Rijndael::decTables()
+{
+    static const auto tables = [] {
+        std::array<std::array<uint32_t, 256>, 4> td{};
+        const auto &is = invSbox();
+        for (int x = 0; x < 256; x++) {
+            uint8_t v = is[x];
+            uint32_t w = (static_cast<uint32_t>(gmul(v, 14)) << 24)
+                | (static_cast<uint32_t>(gmul(v, 9)) << 16)
+                | (static_cast<uint32_t>(gmul(v, 13)) << 8) | gmul(v, 11);
+            for (int j = 0; j < 4; j++)
+                td[j][x] = rotr32(w, 8 * j);
+        }
+        return td;
+    }();
+    return tables;
+}
+
+const CipherInfo &
+Rijndael::info() const
+{
+    return cipherInfo(CipherId::Rijndael);
+}
+
+void
+Rijndael::setKey(std::span<const uint8_t> key)
+{
+    if (key.size() != 16)
+        throw std::invalid_argument("Rijndael: key must be 16 bytes");
+
+    const auto &s = sbox();
+    for (int i = 0; i < 4; i++)
+        ek[i] = load32be(key.data() + 4 * i);
+    uint32_t rcon = 1;
+    for (int i = 4; i < 44; i++) {
+        uint32_t t = ek[i - 1];
+        if (i % 4 == 0) {
+            // SubWord(RotWord(t)) ^ rcon
+            t = (t << 8) | (t >> 24);
+            t = (static_cast<uint32_t>(s[(t >> 24) & 0xFF]) << 24)
+                | (static_cast<uint32_t>(s[(t >> 16) & 0xFF]) << 16)
+                | (static_cast<uint32_t>(s[(t >> 8) & 0xFF]) << 8)
+                | s[t & 0xFF];
+            t ^= rcon << 24;
+            rcon = gmul(static_cast<uint8_t>(rcon), 2);
+        }
+        ek[i] = ek[i - 4] ^ t;
+    }
+
+    // Equivalent inverse cipher keys: reversed round order, with
+    // InvMixColumns applied to the interior round keys.
+    for (int i = 0; i < 4; i++) {
+        dk[i] = ek[40 + i];
+        dk[40 + i] = ek[i];
+    }
+    for (int r = 1; r < rounds; r++) {
+        for (int i = 0; i < 4; i++) {
+            uint32_t w = ek[4 * (rounds - r) + i];
+            uint8_t b0 = w >> 24, b1 = w >> 16, b2 = w >> 8, b3 = w;
+            dk[4 * r + i] =
+                (static_cast<uint32_t>(
+                     gmul(b0, 14) ^ gmul(b1, 11) ^ gmul(b2, 13)
+                     ^ gmul(b3, 9))
+                 << 24)
+                | (static_cast<uint32_t>(
+                       gmul(b0, 9) ^ gmul(b1, 14) ^ gmul(b2, 11)
+                       ^ gmul(b3, 13))
+                   << 16)
+                | (static_cast<uint32_t>(
+                       gmul(b0, 13) ^ gmul(b1, 9) ^ gmul(b2, 14)
+                       ^ gmul(b3, 11))
+                   << 8)
+                | static_cast<uint32_t>(gmul(b0, 11) ^ gmul(b1, 13)
+                                        ^ gmul(b2, 9) ^ gmul(b3, 14));
+        }
+    }
+}
+
+void
+Rijndael::encryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    const auto &te = encTables();
+    const auto &s = sbox();
+
+    uint32_t w[4];
+    for (int i = 0; i < 4; i++)
+        w[i] = load32be(in + 4 * i) ^ ek[i];
+
+    for (int r = 1; r < rounds; r++) {
+        uint32_t n[4];
+        for (int j = 0; j < 4; j++) {
+            n[j] = te[0][(w[j] >> 24) & 0xFF]
+                ^ te[1][(w[(j + 1) & 3] >> 16) & 0xFF]
+                ^ te[2][(w[(j + 2) & 3] >> 8) & 0xFF]
+                ^ te[3][w[(j + 3) & 3] & 0xFF] ^ ek[4 * r + j];
+        }
+        for (int j = 0; j < 4; j++)
+            w[j] = n[j];
+    }
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    uint32_t n[4];
+    for (int j = 0; j < 4; j++) {
+        n[j] = (static_cast<uint32_t>(s[(w[j] >> 24) & 0xFF]) << 24)
+            | (static_cast<uint32_t>(s[(w[(j + 1) & 3] >> 16) & 0xFF])
+               << 16)
+            | (static_cast<uint32_t>(s[(w[(j + 2) & 3] >> 8) & 0xFF]) << 8)
+            | s[w[(j + 3) & 3] & 0xFF];
+        n[j] ^= ek[4 * rounds + j];
+    }
+    for (int j = 0; j < 4; j++)
+        store32be(out + 4 * j, n[j]);
+}
+
+void
+Rijndael::decryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    const auto &td = decTables();
+    const auto &is = invSbox();
+
+    uint32_t w[4];
+    for (int i = 0; i < 4; i++)
+        w[i] = load32be(in + 4 * i) ^ dk[i];
+
+    for (int r = 1; r < rounds; r++) {
+        uint32_t n[4];
+        for (int j = 0; j < 4; j++) {
+            n[j] = td[0][(w[j] >> 24) & 0xFF]
+                ^ td[1][(w[(j + 3) & 3] >> 16) & 0xFF]
+                ^ td[2][(w[(j + 2) & 3] >> 8) & 0xFF]
+                ^ td[3][w[(j + 1) & 3] & 0xFF] ^ dk[4 * r + j];
+        }
+        for (int j = 0; j < 4; j++)
+            w[j] = n[j];
+    }
+    uint32_t n[4];
+    for (int j = 0; j < 4; j++) {
+        n[j] = (static_cast<uint32_t>(is[(w[j] >> 24) & 0xFF]) << 24)
+            | (static_cast<uint32_t>(is[(w[(j + 3) & 3] >> 16) & 0xFF])
+               << 16)
+            | (static_cast<uint32_t>(is[(w[(j + 2) & 3] >> 8) & 0xFF])
+               << 8)
+            | is[w[(j + 1) & 3] & 0xFF];
+        n[j] ^= dk[4 * rounds + j];
+    }
+    for (int j = 0; j < 4; j++)
+        store32be(out + 4 * j, n[j]);
+}
+
+uint64_t
+Rijndael::setupOpEstimate() const
+{
+    // 40 key-expansion words at ~8 instructions each, with the four
+    // SubWord rounds costing four table loads (~16 instructions) extra.
+    return 40 * 8 + 10 * 16;
+}
+
+} // namespace cryptarch::crypto

@@ -1,0 +1,284 @@
+#include "crypto/twofish.hh"
+
+#include <stdexcept>
+
+#include "util/bitops.hh"
+
+namespace cryptarch::crypto
+{
+
+using util::load32le;
+using util::rotl32;
+using util::rotr32;
+using util::store32le;
+
+namespace
+{
+
+// 4-bit permutation tables defining the fixed q0/q1 byte permutations
+// (Twofish paper, section 4.3.5).
+constexpr uint8_t q0t[4][16] = {
+    {0x8, 0x1, 0x7, 0xD, 0x6, 0xF, 0x3, 0x2,
+     0x0, 0xB, 0x5, 0x9, 0xE, 0xC, 0xA, 0x4},
+    {0xE, 0xC, 0xB, 0x8, 0x1, 0x2, 0x3, 0x5,
+     0xF, 0x4, 0xA, 0x6, 0x7, 0x0, 0x9, 0xD},
+    {0xB, 0xA, 0x5, 0xE, 0x6, 0xD, 0x9, 0x0,
+     0xC, 0x8, 0xF, 0x3, 0x2, 0x4, 0x7, 0x1},
+    {0xD, 0x7, 0xF, 0x4, 0x1, 0x2, 0x6, 0xE,
+     0x9, 0xB, 0x3, 0x0, 0x8, 0x5, 0xC, 0xA},
+};
+
+constexpr uint8_t q1t[4][16] = {
+    {0x2, 0x8, 0xB, 0xD, 0xF, 0x7, 0x6, 0xE,
+     0x3, 0x1, 0x9, 0x4, 0x0, 0xA, 0xC, 0x5},
+    {0x1, 0xE, 0x2, 0xB, 0x4, 0xC, 0x3, 0x7,
+     0x6, 0xD, 0xA, 0x5, 0xF, 0x9, 0x0, 0x8},
+    {0x4, 0xC, 0x7, 0x5, 0x1, 0x6, 0x9, 0xA,
+     0x0, 0xE, 0xD, 0x8, 0x2, 0xB, 0x3, 0xF},
+    {0xB, 0x9, 0x5, 0x1, 0xC, 0x3, 0xD, 0xE,
+     0x6, 0x4, 0x7, 0xF, 0x2, 0x0, 0x8, 0xA},
+};
+
+// MDS matrix over GF(2^8) mod x^8 + x^6 + x^5 + x^3 + 1 (0x169).
+constexpr uint8_t mds[4][4] = {
+    {0x01, 0xEF, 0x5B, 0x5B},
+    {0x5B, 0xEF, 0xEF, 0x01},
+    {0xEF, 0x5B, 0x01, 0xEF},
+    {0xEF, 0x01, 0xEF, 0x5B},
+};
+
+// RS matrix over GF(2^8) mod x^8 + x^6 + x^3 + x^2 + 1 (0x14D).
+constexpr uint8_t rs[4][8] = {
+    {0x01, 0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E},
+    {0xA4, 0x56, 0x82, 0xF3, 0x1E, 0xC6, 0x68, 0xE5},
+    {0x02, 0xA1, 0xFC, 0xC1, 0x47, 0xAE, 0x3D, 0x19},
+    {0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E, 0x03},
+};
+
+constexpr uint32_t rho = 0x01010101;
+
+/** GF(2^8) multiply modulo the given reduction polynomial. */
+uint8_t
+gfMul(uint8_t a, uint8_t b, uint16_t poly)
+{
+    uint16_t acc = 0;
+    uint16_t aa = a;
+    while (b) {
+        if (b & 1)
+            acc ^= aa;
+        aa <<= 1;
+        if (aa & 0x100)
+            aa ^= poly;
+        b >>= 1;
+    }
+    return static_cast<uint8_t>(acc);
+}
+
+uint8_t
+ror4(uint8_t x, int n)
+{
+    return static_cast<uint8_t>(((x >> n) | (x << (4 - n))) & 0xF);
+}
+
+/** Build a q permutation from its four 4-bit tables. */
+std::array<uint8_t, 256>
+buildQ(const uint8_t t[4][16])
+{
+    std::array<uint8_t, 256> q{};
+    for (int x = 0; x < 256; x++) {
+        uint8_t a0 = x >> 4, b0 = x & 0xF;
+        uint8_t a1 = a0 ^ b0;
+        uint8_t b1 = static_cast<uint8_t>((a0 ^ ror4(b0, 1) ^ (8 * a0))
+                                          & 0xF);
+        uint8_t a2 = t[0][a1], b2 = t[1][b1];
+        uint8_t a3 = a2 ^ b2;
+        uint8_t b3 = static_cast<uint8_t>((a2 ^ ror4(b2, 1) ^ (8 * a2))
+                                          & 0xF);
+        uint8_t a4 = t[2][a3], b4 = t[3][b3];
+        q[x] = static_cast<uint8_t>((b4 << 4) | a4);
+    }
+    return q;
+}
+
+/** MDS matrix-vector product; returns a little-endian packed word. */
+uint32_t
+mdsMul(const uint8_t y[4])
+{
+    uint32_t z = 0;
+    for (int row = 0; row < 4; row++) {
+        uint8_t acc = 0;
+        for (int col = 0; col < 4; col++)
+            acc ^= gfMul(mds[row][col], y[col], 0x169);
+        z |= static_cast<uint32_t>(acc) << (8 * row);
+    }
+    return z;
+}
+
+/**
+ * The byte-level S-box chain of h for 128-bit keys (k = 2): byte lane
+ * @p j of input byte @p x, with inner key word @p l1 and outer @p l0.
+ */
+uint8_t
+sboxChain(int j, uint8_t x, uint32_t l0, uint32_t l1)
+{
+    const auto &qa = crypto::Twofish::q0();
+    const auto &qb = crypto::Twofish::q1();
+    uint8_t k1 = static_cast<uint8_t>(l1 >> (8 * j));
+    uint8_t k0 = static_cast<uint8_t>(l0 >> (8 * j));
+    switch (j) {
+      case 0:
+        return qb[qa[qa[x] ^ k1] ^ k0];
+      case 1:
+        return qa[qa[qb[x] ^ k1] ^ k0];
+      case 2:
+        return qb[qb[qa[x] ^ k1] ^ k0];
+      default:
+        return qa[qb[qb[x] ^ k1] ^ k0];
+    }
+}
+
+/** The h function for k = 2 (inner key word l1, outer l0). */
+uint32_t
+hFunc(uint32_t x, uint32_t l0, uint32_t l1)
+{
+    uint8_t y[4];
+    for (int j = 0; j < 4; j++)
+        y[j] = sboxChain(j, static_cast<uint8_t>(x >> (8 * j)), l0, l1);
+    return mdsMul(y);
+}
+
+} // namespace
+
+const std::array<uint8_t, 256> &
+Twofish::q0()
+{
+    static const auto table = buildQ(q0t);
+    return table;
+}
+
+const std::array<uint8_t, 256> &
+Twofish::q1()
+{
+    static const auto table = buildQ(q1t);
+    return table;
+}
+
+const CipherInfo &
+Twofish::info() const
+{
+    return cipherInfo(CipherId::Twofish);
+}
+
+void
+Twofish::setKey(std::span<const uint8_t> key)
+{
+    if (key.size() != 16)
+        throw std::invalid_argument("Twofish: key must be 16 bytes");
+
+    // Even key words feed the A-side subkey halves, odd words the
+    // B side; the RS code of each key half keys the S-boxes.
+    uint32_t m[4];
+    for (int i = 0; i < 4; i++)
+        m[i] = load32le(key.data() + 4 * i);
+
+    uint32_t s[2];
+    for (int half = 0; half < 2; half++) {
+        uint32_t word = 0;
+        for (int row = 0; row < 4; row++) {
+            uint8_t acc = 0;
+            for (int col = 0; col < 8; col++)
+                acc ^= gfMul(rs[row][col], key[8 * half + col], 0x14D);
+            word |= static_cast<uint32_t>(acc) << (8 * row);
+        }
+        s[half] = word;
+    }
+
+    for (int i = 0; i < 20; i++) {
+        uint32_t a = hFunc(2 * i * rho, m[0], m[2]);
+        uint32_t b = rotl32(hFunc((2 * i + 1) * rho, m[1], m[3]), 8);
+        k[2 * i] = a + b;
+        k[2 * i + 1] = rotl32(a + 2 * b, 9);
+    }
+
+    // Full keying: fold the key-dependent S-box chain and the MDS
+    // contribution of each byte lane into four 256-entry tables, so
+    // g(X) is four lookups and three XORs. The S vector is listed
+    // high-half first (S1 outer, S0 inner), per the spec's
+    // S = (S_{k-1}, ..., S_0) ordering.
+    for (int j = 0; j < 4; j++) {
+        for (int x = 0; x < 256; x++) {
+            uint8_t y[4] = {0, 0, 0, 0};
+            y[j] = sboxChain(j, static_cast<uint8_t>(x), s[1], s[0]);
+            gt[j][x] = mdsMul(y);
+        }
+    }
+}
+
+uint32_t
+Twofish::g(uint32_t x) const
+{
+    return gt[0][x & 0xFF] ^ gt[1][(x >> 8) & 0xFF]
+        ^ gt[2][(x >> 16) & 0xFF] ^ gt[3][(x >> 24) & 0xFF];
+}
+
+void
+Twofish::encryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    uint32_t r[4];
+    for (int i = 0; i < 4; i++)
+        r[i] = load32le(in + 4 * i) ^ k[i];
+
+    for (int round = 0; round < rounds; round++) {
+        uint32_t t0 = g(r[0]);
+        uint32_t t1 = g(rotl32(r[1], 8));
+        uint32_t f0 = t0 + t1 + k[2 * round + 8];
+        uint32_t f1 = t0 + 2 * t1 + k[2 * round + 9];
+        uint32_t n2 = rotr32(r[2] ^ f0, 1);
+        uint32_t n3 = rotl32(r[3], 1) ^ f1;
+        // Swap halves for the next round.
+        r[2] = r[0];
+        r[3] = r[1];
+        r[0] = n2;
+        r[1] = n3;
+    }
+
+    // Output whitening undoes the last swap.
+    for (int i = 0; i < 4; i++)
+        store32le(out + 4 * i, r[(i + 2) & 3] ^ k[i + 4]);
+}
+
+void
+Twofish::decryptBlock(const uint8_t *in, uint8_t *out) const
+{
+    uint32_t r[4];
+    for (int i = 0; i < 4; i++)
+        r[(i + 2) & 3] = load32le(in + 4 * i) ^ k[i + 4];
+
+    for (int round = rounds - 1; round >= 0; round--) {
+        // Undo the swap, then invert the round transform.
+        uint32_t n2 = r[0], n3 = r[1];
+        r[0] = r[2];
+        r[1] = r[3];
+        uint32_t t0 = g(r[0]);
+        uint32_t t1 = g(rotl32(r[1], 8));
+        uint32_t f0 = t0 + t1 + k[2 * round + 8];
+        uint32_t f1 = t0 + 2 * t1 + k[2 * round + 9];
+        r[2] = rotl32(n2, 1) ^ f0;
+        r[3] = rotr32(n3 ^ f1, 1);
+    }
+
+    for (int i = 0; i < 4; i++)
+        store32le(out + 4 * i, r[i] ^ k[i]);
+}
+
+uint64_t
+Twofish::setupOpEstimate() const
+{
+    // 20 subkey pairs, each two h evaluations (~8 q lookups + MDS math,
+    // ~70 instructions each), plus the RS computation and the 1024-entry
+    // full-keying table build (three q lookups, two XORs and a
+    // precomputed-MDS lookup per entry, ~15 instructions).
+    return 20 * 2 * 70 + 2 * 150 + 1024 * 15;
+}
+
+} // namespace cryptarch::crypto

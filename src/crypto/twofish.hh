@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Twofish block cipher (Schneier et al., AES finalist).
+ *
+ * Twofish is the paper's running example (its kernel opens section 2):
+ * 16 Feistel-ish rounds mixing key-dependent S-box lookups (the g
+ * function), the pseudo-Hadamard transform, modular adds and 1-bit
+ * rotates. The "full keying" software option precomputes four
+ * 256x32-bit tables combining the S-box chain with the MDS matrix, so
+ * the round kernel is eight table lookups plus arithmetic — exactly the
+ * shape the SBOX instruction accelerates.
+ */
+
+#ifndef CRYPTARCH_CRYPTO_TWOFISH_HH
+#define CRYPTARCH_CRYPTO_TWOFISH_HH
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/cipher.hh"
+
+namespace cryptarch::crypto
+{
+
+/** Twofish-128: 16 rounds, 128-bit key. */
+class Twofish : public BlockCipher
+{
+  public:
+    static constexpr int rounds = 16;
+
+    const CipherInfo &info() const override;
+    void setKey(std::span<const uint8_t> key) override;
+    void encryptBlock(const uint8_t *in, uint8_t *out) const override;
+    void decryptBlock(const uint8_t *in, uint8_t *out) const override;
+    uint64_t setupOpEstimate() const override;
+
+    /** The 40 expanded subkeys (whitening + rounds). */
+    const std::array<uint32_t, 40> &subkeys() const { return k; }
+
+    /**
+     * Full-keying tables: g(X) = t[0][b0] ^ t[1][b1] ^ t[2][b2]
+     * ^ t[3][b3]. These are what the CryptISA kernel indexes with SBOX
+     * instructions.
+     */
+    const std::array<std::array<uint32_t, 256>, 4> &gTables() const
+    {
+        return gt;
+    }
+
+    /** The fixed q0 byte permutation (for tests). */
+    static const std::array<uint8_t, 256> &q0();
+    /** The fixed q1 byte permutation (for tests). */
+    static const std::array<uint8_t, 256> &q1();
+
+  private:
+    uint32_t g(uint32_t x) const;
+
+    std::array<uint32_t, 40> k{};
+    std::array<std::array<uint32_t, 256>, 4> gt{};
+};
+
+} // namespace cryptarch::crypto
+
+#endif // CRYPTARCH_CRYPTO_TWOFISH_HH

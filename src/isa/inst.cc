@@ -1,0 +1,215 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace cryptarch::isa
+{
+
+bool
+Inst::writesDest() const
+{
+    switch (op) {
+      case Opcode::Halt:
+      case Opcode::Br:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Stq:
+      case Opcode::Stl:
+      case Opcode::Stw:
+      case Opcode::Stb:
+      case Opcode::Sboxsync:
+        return false;
+      default:
+        return rc.n != reg_zero.n;
+    }
+}
+
+bool
+Inst::isBranch() const
+{
+    switch (op) {
+      case Opcode::Br:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Inst::isMem() const
+{
+    switch (op) {
+      case Opcode::Ldq:
+      case Opcode::Ldl:
+      case Opcode::Ldwu:
+      case Opcode::Ldbu:
+      case Opcode::Stq:
+      case Opcode::Stl:
+      case Opcode::Stw:
+      case Opcode::Stb:
+      case Opcode::Sbox:
+      case Opcode::Sboxx:
+        return true;
+      default:
+        return false;
+    }
+}
+
+OpClass
+opClass(const Inst &inst)
+{
+    switch (inst.op) {
+      case Opcode::Halt:
+        return OpClass::Nop;
+      case Opcode::Br:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return OpClass::Control;
+      case Opcode::Ldq:
+      case Opcode::Ldl:
+      case Opcode::Ldwu:
+      case Opcode::Ldbu:
+        return OpClass::Load;
+      case Opcode::Stq:
+      case Opcode::Stl:
+      case Opcode::Stw:
+      case Opcode::Stb:
+        return OpClass::Store;
+      case Opcode::Mulq:
+        return OpClass::IntMult;
+      case Opcode::Mull:
+        return OpClass::IntMult32;
+      case Opcode::Mulmod:
+        return OpClass::MulMod;
+      case Opcode::Rol:
+      case Opcode::Ror:
+      case Opcode::Rol32:
+      case Opcode::Ror32:
+      case Opcode::Rolx32:
+      case Opcode::Rorx32:
+      case Opcode::Xbox:
+      case Opcode::Grp:
+        return OpClass::RotUnit;
+      case Opcode::Sbox:
+      case Opcode::Sboxx:
+        // Aliased SBOX accesses behave as loads with optimized address
+        // generation; non-aliased ones bypass the memory ordering queue.
+        return inst.aliased ? OpClass::Load : OpClass::SboxRead;
+      case Opcode::Sboxsync:
+        return OpClass::SboxSync;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+std::string
+opName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Halt: return "halt";
+      case Opcode::Br: return "br";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Ldq: return "ldq";
+      case Opcode::Ldl: return "ldl";
+      case Opcode::Ldwu: return "ldwu";
+      case Opcode::Ldbu: return "ldbu";
+      case Opcode::Stq: return "stq";
+      case Opcode::Stl: return "stl";
+      case Opcode::Stw: return "stw";
+      case Opcode::Stb: return "stb";
+      case Opcode::Addq: return "addq";
+      case Opcode::Subq: return "subq";
+      case Opcode::Addl: return "addl";
+      case Opcode::Subl: return "subl";
+      case Opcode::And: return "and";
+      case Opcode::Bis: return "bis";
+      case Opcode::Xor: return "xor";
+      case Opcode::Bic: return "bic";
+      case Opcode::Ornot: return "ornot";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Sll32: return "sll32";
+      case Opcode::Srl32: return "srl32";
+      case Opcode::Extbl: return "extbl";
+      case Opcode::S4add: return "s4add";
+      case Opcode::S8add: return "s8add";
+      case Opcode::Cmpeq: return "cmpeq";
+      case Opcode::Cmpult: return "cmpult";
+      case Opcode::Cmplt: return "cmplt";
+      case Opcode::Cmoveq: return "cmoveq";
+      case Opcode::Cmovne: return "cmovne";
+      case Opcode::Mulq: return "mulq";
+      case Opcode::Mull: return "mull";
+      case Opcode::Rol: return "rol";
+      case Opcode::Ror: return "ror";
+      case Opcode::Rol32: return "rol32";
+      case Opcode::Ror32: return "ror32";
+      case Opcode::Rolx32: return "rolx32";
+      case Opcode::Rorx32: return "rorx32";
+      case Opcode::Mulmod: return "mulmod";
+      case Opcode::Sbox: return "sbox";
+      case Opcode::Sboxsync: return "sboxsync";
+      case Opcode::Xbox: return "xbox";
+      case Opcode::Grp: return "grp";
+      case Opcode::Sboxx: return "sboxx";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Inst &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+    if (inst.op == Opcode::Sbox || inst.op == Opcode::Sboxx) {
+        os << "." << int(inst.tableId) << "." << int(inst.byteSel);
+        if (inst.aliased)
+            os << ".a";
+        os << " r" << int(inst.ra.n) << ", r" << int(inst.rb.n) << ", r"
+           << int(inst.rc.n);
+        return os.str();
+    }
+    if (inst.op == Opcode::Xbox) {
+        os << "." << int(inst.byteSel) << " r" << int(inst.ra.n) << ", r"
+           << int(inst.rb.n) << ", r" << int(inst.rc.n);
+        return os.str();
+    }
+    if (inst.op == Opcode::Sboxsync) {
+        os << "." << int(inst.tableId);
+        return os.str();
+    }
+    if (inst.isBranch()) {
+        if (inst.op != Opcode::Br)
+            os << " r" << int(inst.ra.n) << ",";
+        os << " @" << inst.target;
+        return os.str();
+    }
+    if (inst.isMem()) {
+        os << " r" << int(inst.rc.n) << ", " << inst.imm << "(r"
+           << int(inst.ra.n) << ")";
+        return os.str();
+    }
+    if (inst.op == Opcode::Halt)
+        return os.str();
+    os << " r" << int(inst.ra.n) << ", ";
+    if (inst.useImm)
+        os << "#" << inst.imm;
+    else
+        os << "r" << int(inst.rb.n);
+    os << ", r" << int(inst.rc.n);
+    return os.str();
+}
+
+} // namespace cryptarch::isa

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * CryptISA instruction definitions.
+ *
+ * CryptISA is a 64-bit Alpha-like load/store ISA extended with the
+ * paper's cryptography instructions (Figure 8):
+ *
+ *  - ROL/ROR            rotates by register or immediate (32/64-bit)
+ *  - ROLX/RORX          constant rotate fused with XOR-accumulate
+ *  - MULMOD             16-bit multiplication modulo 0x10001
+ *  - SBOX/SBOXSYNC      one-instruction substitution-table access
+ *  - XBOX               partial 64-bit general bit permutation
+ *
+ * The baseline subset deliberately mirrors the Alpha: no rotate
+ * instructions (they are synthesized from shifts), byte extracts
+ * (EXTBL), scaled add (S4ADD) for table addressing, and conditional
+ * moves.
+ */
+
+#ifndef CRYPTARCH_ISA_INST_HH
+#define CRYPTARCH_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cryptarch::isa
+{
+
+/** Architectural register name. R63 reads as zero and ignores writes. */
+struct Reg
+{
+    uint8_t n = 63;
+
+    constexpr bool operator==(const Reg &o) const { return n == o.n; }
+};
+
+/** Number of architectural registers. */
+constexpr unsigned num_regs = 64;
+/** The hardwired zero register. */
+constexpr Reg reg_zero{63};
+
+enum class Opcode : uint8_t
+{
+    // Control
+    Halt,
+    Br,      ///< unconditional branch
+    Beq,     ///< branch if ra == 0
+    Bne,     ///< branch if ra != 0
+    Blt,     ///< branch if (int64)ra < 0
+    Bge,     ///< branch if (int64)ra >= 0
+
+    // Memory
+    Ldq,     ///< 64-bit load
+    Ldl,     ///< 32-bit load, zero-extended
+    Ldwu,    ///< 16-bit load, zero-extended
+    Ldbu,    ///< 8-bit load, zero-extended
+    Stq,     ///< 64-bit store
+    Stl,     ///< 32-bit store
+    Stw,     ///< 16-bit store
+    Stb,     ///< 8-bit store
+
+    // Integer ALU (rb or immediate second operand)
+    Addq,
+    Subq,
+    Addl,    ///< 32-bit add, result zero-extended
+    Subl,    ///< 32-bit subtract, result zero-extended
+    And,
+    Bis,     ///< or
+    Xor,
+    Bic,     ///< a & ~b
+    Ornot,   ///< a | ~b
+    Sll,
+    Srl,
+    Sra,
+    Sll32,   ///< shift low 32 bits, zero-extended result
+    Srl32,   ///< shift low 32 bits, zero-extended result
+    Extbl,   ///< extract byte (rb/imm selects byte index 0..7)
+    S4add,   ///< (ra << 2) + rb: table address scaling
+    S8add,   ///< (ra << 3) + rb
+    Cmpeq,   ///< rc = (ra == rb)
+    Cmpult,  ///< rc = (ra < rb) unsigned
+    Cmplt,   ///< rc = (ra < rb) signed
+    Cmoveq,  ///< if (ra == 0) rc = rb
+    Cmovne,  ///< if (ra != 0) rc = rb
+
+    // Multiplies
+    Mulq,    ///< 64-bit multiply (7 cycles)
+    Mull,    ///< 32-bit multiply, zero-extended (4-cycle early out)
+
+    // --- ISA extensions (paper Figure 8) ---
+    Rol,     ///< 64-bit rotate left by register (low 6 bits)
+    Ror,     ///< 64-bit rotate right by register
+    Rol32,   ///< 32-bit rotate left (low 5 bits of rb/imm)
+    Ror32,   ///< 32-bit rotate right
+    Rolx32,  ///< rc = rotl32(ra, imm) ^ rc (rc is also a source)
+    Rorx32,  ///< rc = rotr32(ra, imm) ^ rc
+    Mulmod,  ///< rc = (ra * rb) mod 0x10001, IDEA zero convention
+    Sbox,    ///< rc = MEM32[(ra & ~0x3FF) | (byte_sel(rb) << 2)]
+    Sboxsync, ///< make stores visible to subsequent SBOX accesses
+    Xbox,    ///< partial general permutation (see Inst::byteSel)
+    Grp,     ///< Shi & Lee group permutation: bits of ra with rb-bit 0
+             ///< packed low, rb-bit 1 packed high (64-bit)
+    Sboxx,   ///< fused substitute-and-XOR: rc ^= SBOX lookup. A
+             ///< three-register-read operation (table, index, rc) of
+             ///< the kind the paper's conclusions propose for future
+             ///< cryptographic processors ("four operand instructions
+             ///< to permit increased operation combining").
+};
+
+/** Functional-unit class an opcode occupies (paper Table 2 resources). */
+enum class OpClass : uint8_t
+{
+    Nop,       ///< Halt
+    Control,   ///< branches
+    IntAlu,    ///< 1-cycle integer ops
+    IntMult,   ///< 64-bit multiply, 7 cycles
+    IntMult32, ///< 32-bit multiply, 4-cycle early out
+    MulMod,    ///< modular multiply, 4 cycles
+    RotUnit,   ///< rotates, ROLX/RORX and XBOX (rotator/XBOX unit)
+    Load,
+    Store,
+    SboxRead,  ///< non-aliased SBOX access
+    SboxSync,
+};
+
+/** One CryptISA instruction. */
+struct Inst
+{
+    Opcode op = Opcode::Halt;
+    Reg ra{};           ///< first source
+    Reg rb{};           ///< second source (ignored when useImm)
+    Reg rc{};           ///< destination (source too for ROLX/RORX/CMOV)
+    bool useImm = false;
+    int64_t imm = 0;    ///< immediate operand / memory displacement
+    int32_t target = -1; ///< branch target (instruction index)
+
+    // Extension fields.
+    uint8_t tableId = 0; ///< SBOX table designator #<tt>
+    uint8_t byteSel = 0; ///< SBOX #<bb> / XBOX #<bbb> byte selector
+    bool aliased = false; ///< SBOX aliased flag
+
+    /** True if this instruction writes rc. */
+    bool writesDest() const;
+    /** True for conditional and unconditional branches. */
+    bool isBranch() const;
+    /** True for loads, stores and SBOX accesses. */
+    bool isMem() const;
+};
+
+/** Map an instruction to its functional-unit class. */
+OpClass opClass(const Inst &inst);
+
+/** Human-readable mnemonic, for disassembly and test output. */
+std::string opName(Opcode op);
+
+/** Disassemble one instruction. */
+std::string disassemble(const Inst &inst);
+
+} // namespace cryptarch::isa
+
+#endif // CRYPTARCH_ISA_INST_HH

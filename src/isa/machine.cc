@@ -1,0 +1,398 @@
+#include "isa/machine.hh"
+
+#include <stdexcept>
+
+#include "crypto/idea.hh"
+#include "util/bitops.hh"
+
+namespace cryptarch::isa
+{
+
+using util::rotl32;
+using util::rotl64;
+using util::rotr32;
+using util::rotr64;
+
+Machine::Machine(size_t mem_bytes) : mem(mem_bytes, 0) {}
+
+void
+Machine::setReg(Reg r, uint64_t v)
+{
+    if (r.n != reg_zero.n)
+        regs[r.n] = v;
+}
+
+void
+Machine::checkAddr(uint64_t addr, unsigned size) const
+{
+    if (addr + size > mem.size())
+        throw std::runtime_error("Machine: memory access out of bounds");
+}
+
+void
+Machine::writeMem(uint64_t addr, const std::vector<uint8_t> &bytes)
+{
+    checkAddr(addr, bytes.size());
+    std::copy(bytes.begin(), bytes.end(), mem.begin() + addr);
+}
+
+std::vector<uint8_t>
+Machine::readMem(uint64_t addr, size_t n) const
+{
+    checkAddr(addr, n);
+    return {mem.begin() + addr, mem.begin() + addr + n};
+}
+
+void
+Machine::write32(uint64_t addr, uint32_t v)
+{
+    storeSized(addr, 4, v);
+}
+
+uint32_t
+Machine::read32(uint64_t addr) const
+{
+    return static_cast<uint32_t>(loadSized(addr, 4));
+}
+
+uint64_t
+Machine::loadSized(uint64_t addr, unsigned size) const
+{
+    checkAddr(addr, size);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < size; i++)
+        v |= static_cast<uint64_t>(mem[addr + i]) << (8 * i);
+    return v;
+}
+
+void
+Machine::storeSized(uint64_t addr, unsigned size, uint64_t value)
+{
+    checkAddr(addr, size);
+    for (unsigned i = 0; i < size; i++)
+        mem[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+uint32_t
+Machine::sboxRead(uint64_t addr)
+{
+    checkAddr(addr, 4);
+    if (!strictSbox)
+        return static_cast<uint32_t>(loadSized(addr, 4));
+    uint64_t frame = addr & ~0x3FFull;
+    auto it = sboxSnapshots.find(frame);
+    if (it == sboxSnapshots.end()) {
+        checkAddr(frame, 1024);
+        it = sboxSnapshots
+                 .emplace(frame, std::vector<uint8_t>(
+                                     mem.begin() + frame,
+                                     mem.begin() + frame + 1024))
+                 .first;
+    }
+    const auto &snap = it->second;
+    uint64_t off = addr - frame;
+    return static_cast<uint32_t>(snap[off])
+        | (static_cast<uint32_t>(snap[off + 1]) << 8)
+        | (static_cast<uint32_t>(snap[off + 2]) << 16)
+        | (static_cast<uint32_t>(snap[off + 3]) << 24);
+}
+
+namespace
+{
+
+unsigned
+memSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldq:
+      case Opcode::Stq:
+        return 8;
+      case Opcode::Ldl:
+      case Opcode::Stl:
+      case Opcode::Sbox:
+        return 4;
+      case Opcode::Ldwu:
+      case Opcode::Stw:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+constexpr uint64_t mask32 = 0xFFFFFFFFull;
+
+} // namespace
+
+RunStats
+Machine::run(const Program &program, TraceSink *sink, uint64_t max_insts)
+{
+    RunStats stats;
+    uint32_t pc = 0;
+
+    while (true) {
+        if (pc >= program.size())
+            throw std::runtime_error("Machine: pc ran off program end");
+        if (stats.instructions >= max_insts)
+            throw std::runtime_error("Machine: instruction limit hit");
+
+        const Inst &inst = program[pc];
+        uint64_t a = regs[inst.ra.n];
+        uint64_t b = inst.useImm ? static_cast<uint64_t>(inst.imm)
+                                 : regs[inst.rb.n];
+
+        DynInst dyn;
+        dyn.seq = stats.instructions;
+        dyn.pc = pc;
+        dyn.op = inst.op;
+        dyn.cls = opClass(inst);
+        dyn.tableId = inst.tableId;
+        dyn.aliased = inst.aliased;
+
+        auto addSrc = [&](Reg r) {
+            if (r.n != reg_zero.n && dyn.numSrcs < 3)
+                dyn.srcs[dyn.numSrcs++] = r.n;
+        };
+
+        uint32_t next_pc = pc + 1;
+        uint64_t result = 0;
+        bool writes = inst.writesDest();
+
+        switch (inst.op) {
+          case Opcode::Halt:
+            if (sink)
+                sink->emit(dyn);
+            stats.instructions++;
+            return stats;
+
+          case Opcode::Br:
+            dyn.branch = true;
+            dyn.taken = true;
+            next_pc = inst.target;
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge: {
+            addSrc(inst.ra);
+            dyn.branch = true;
+            bool cond = false;
+            switch (inst.op) {
+              case Opcode::Beq: cond = a == 0; break;
+              case Opcode::Bne: cond = a != 0; break;
+              case Opcode::Blt: cond = static_cast<int64_t>(a) < 0; break;
+              default: cond = static_cast<int64_t>(a) >= 0; break;
+            }
+            dyn.taken = cond;
+            if (cond)
+                next_pc = inst.target;
+            break;
+          }
+
+          case Opcode::Ldq:
+          case Opcode::Ldl:
+          case Opcode::Ldwu:
+          case Opcode::Ldbu: {
+            addSrc(inst.ra);
+            uint64_t addr = a + inst.imm;
+            dyn.isLoad = true;
+            dyn.addr = addr;
+            dyn.size = memSize(inst.op);
+            dyn.addrSrc = inst.ra.n;
+            result = loadSized(addr, dyn.size);
+            break;
+          }
+
+          case Opcode::Stq:
+          case Opcode::Stl:
+          case Opcode::Stw:
+          case Opcode::Stb: {
+            addSrc(inst.ra);
+            addSrc(inst.rc); // store value
+            uint64_t addr = a + inst.imm;
+            dyn.isStore = true;
+            dyn.addr = addr;
+            dyn.size = memSize(inst.op);
+            dyn.addrSrc = inst.ra.n;
+            storeSized(addr, dyn.size, regs[inst.rc.n]);
+            break;
+          }
+
+          case Opcode::Addq: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a + b; break;
+          case Opcode::Subq: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a - b; break;
+          case Opcode::Addl: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = (a + b) & mask32; break;
+          case Opcode::Subl: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = (a - b) & mask32; break;
+          case Opcode::And: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a & b; break;
+          case Opcode::Bis: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a | b; break;
+          case Opcode::Xor: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a ^ b; break;
+          case Opcode::Bic: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a & ~b; break;
+          case Opcode::Ornot: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a | ~b; break;
+          case Opcode::Sll: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a << (b & 63); break;
+          case Opcode::Srl: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a >> (b & 63); break;
+          case Opcode::Sra:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = static_cast<uint64_t>(static_cast<int64_t>(a)
+                                           >> (b & 63));
+            break;
+          case Opcode::Sll32:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = ((a & mask32) << (b & 31)) & mask32;
+            break;
+          case Opcode::Srl32:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = (a & mask32) >> (b & 31);
+            break;
+          case Opcode::Extbl:
+            addSrc(inst.ra);
+            result = (a >> (8 * (b & 7))) & 0xFF;
+            break;
+          case Opcode::S4add: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = (a << 2) + b; break;
+          case Opcode::S8add: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = (a << 3) + b; break;
+          case Opcode::Cmpeq: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a == b; break;
+          case Opcode::Cmpult: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a < b; break;
+          case Opcode::Cmplt:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+            break;
+          case Opcode::Cmoveq:
+          case Opcode::Cmovne: {
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            addSrc(inst.rc); // old value is a source
+            bool move = inst.op == Opcode::Cmoveq ? a == 0 : a != 0;
+            result = move ? b : regs[inst.rc.n];
+            break;
+          }
+
+          case Opcode::Mulq: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = a * b; break;
+          case Opcode::Mull:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = (a * b) & mask32;
+            break;
+
+          case Opcode::Rol: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = rotl64(a, b & 63); break;
+          case Opcode::Ror: addSrc(inst.ra); if (!inst.useImm) addSrc(inst.rb); result = rotr64(a, b & 63); break;
+          case Opcode::Rol32:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = rotl32(static_cast<uint32_t>(a), b & 31);
+            break;
+          case Opcode::Ror32:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = rotr32(static_cast<uint32_t>(a), b & 31);
+            break;
+          case Opcode::Rolx32:
+            addSrc(inst.ra);
+            addSrc(inst.rc); // destination is also a source
+            result = (rotl32(static_cast<uint32_t>(a), inst.imm & 31)
+                      ^ regs[inst.rc.n])
+                & mask32;
+            break;
+          case Opcode::Rorx32:
+            addSrc(inst.ra);
+            addSrc(inst.rc);
+            result = (rotr32(static_cast<uint32_t>(a), inst.imm & 31)
+                      ^ regs[inst.rc.n])
+                & mask32;
+            break;
+
+          case Opcode::Mulmod:
+            addSrc(inst.ra);
+            if (!inst.useImm)
+                addSrc(inst.rb);
+            result = crypto::ideaMulMod(static_cast<uint16_t>(a),
+                                        static_cast<uint16_t>(b));
+            break;
+
+          case Opcode::Sbox:
+          case Opcode::Sboxx: {
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            uint64_t index = (regs[inst.rb.n] >> (8 * inst.byteSel))
+                & 0xFF;
+            uint64_t addr = (a & ~0x3FFull) | (index << 2);
+            dyn.isLoad = true;
+            dyn.addr = addr;
+            dyn.size = 4;
+            uint32_t value = inst.aliased
+                ? static_cast<uint32_t>(loadSized(addr, 4))
+                : sboxRead(addr);
+            if (inst.op == Opcode::Sboxx) {
+                addSrc(inst.rc); // destination is also a source
+                result = regs[inst.rc.n] ^ value;
+            } else {
+                result = value;
+            }
+            break;
+          }
+
+          case Opcode::Sboxsync:
+            sboxSnapshots.clear();
+            break;
+
+          case Opcode::Grp: {
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            // Group permutation [Shi & Lee 00]: source bits whose
+            // control bit is 0 pack into the low end (ascending),
+            // bits whose control bit is 1 pack into the high end.
+            uint64_t control = regs[inst.rb.n];
+            uint64_t lo = 0, hi = 0;
+            unsigned nlo = 0, nhi = 0;
+            for (unsigned i = 0; i < 64; i++) {
+                uint64_t bit = (a >> i) & 1;
+                if ((control >> i) & 1)
+                    hi |= bit << nhi++;
+                else
+                    lo |= bit << nlo++;
+            }
+            result = lo | (hi << nlo);
+            break;
+          }
+
+          case Opcode::Xbox: {
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            // Partial general permutation: byte #byteSel of the result
+            // receives eight bits of ra selected by the eight 6-bit
+            // indices packed in rb; all other result bits are zero
+            // (composition uses an OR tree, 7 insts per 32-bit
+            // permutation as the paper reports).
+            uint64_t map = regs[inst.rb.n];
+            result = 0;
+            for (unsigned j = 0; j < 8; j++) {
+                unsigned src_bit = (map >> (6 * j)) & 0x3F;
+                uint64_t bit = (a >> src_bit) & 1;
+                result |= bit << (8 * inst.byteSel + j);
+            }
+            break;
+          }
+        }
+
+        if (writes) {
+            setReg(inst.rc, result);
+            dyn.dest = inst.rc.n;
+            dyn.result = result;
+        }
+        dyn.nextPc = next_pc;
+
+        if (sink)
+            sink->emit(dyn);
+        stats.instructions++;
+        pc = next_pc;
+    }
+}
+
+} // namespace cryptarch::isa

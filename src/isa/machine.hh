@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Functional CryptISA interpreter with dynamic trace emission.
+ *
+ * The Machine executes programs for correctness (kernel outputs are
+ * validated byte-for-byte against the reference ciphers) and streams
+ * the dynamic instruction sequence — register dependences, memory
+ * addresses, branch outcomes, result values — to a TraceSink. The
+ * timing simulator (src/sim) is one such sink; the Figure 7 operation
+ * classifier and the section 4.3 value-predictability experiment are
+ * others.
+ */
+
+#ifndef CRYPTARCH_ISA_MACHINE_HH
+#define CRYPTARCH_ISA_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace cryptarch::isa
+{
+
+/** One dynamically executed instruction, as seen by trace consumers. */
+struct DynInst
+{
+    uint64_t seq = 0;      ///< dynamic sequence number
+    uint32_t pc = 0;       ///< static instruction index
+    Opcode op = Opcode::Halt;
+    OpClass cls = OpClass::Nop;
+
+    uint8_t numSrcs = 0;
+    std::array<uint8_t, 3> srcs{}; ///< source register numbers
+    uint8_t dest = reg_zero.n;     ///< destination (reg_zero if none)
+
+    bool isLoad = false;
+    bool isStore = false;
+    uint64_t addr = 0;     ///< effective address for memory ops
+    uint8_t size = 0;      ///< access size in bytes
+    /**
+     * Register gating address generation (the base register). The
+     * timing model uses it to decide when a store's address resolves:
+     * later loads may not issue before that (unless the model has
+     * perfect alias disambiguation).
+     */
+    uint8_t addrSrc = reg_zero.n;
+
+    bool branch = false;
+    bool taken = false;
+    uint32_t nextPc = 0;   ///< actual successor pc
+
+    uint8_t tableId = 0;   ///< SBOX table designator
+    bool aliased = false;  ///< SBOX aliased flag
+
+    uint64_t result = 0;   ///< value written (for value prediction)
+};
+
+/** Consumer of the dynamic instruction stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const DynInst &inst) = 0;
+};
+
+/** Statistics of one functional run. */
+struct RunStats
+{
+    uint64_t instructions = 0;
+    uint64_t cyclesHint = 0; ///< unused by the machine; for sinks
+};
+
+/**
+ * The functional interpreter. Memory is a flat byte array; programs
+ * address it directly (kernels place tables at 1 KB-aligned offsets as
+ * the SBOX instruction requires).
+ */
+class Machine
+{
+  public:
+    explicit Machine(size_t mem_bytes = 1 << 22);
+
+    /** Read an architectural register. */
+    uint64_t reg(Reg r) const { return regs[r.n]; }
+    /** Write an architectural register (writes to R63 are dropped). */
+    void setReg(Reg r, uint64_t v);
+
+    /** Bulk memory initialization/readback. */
+    void writeMem(uint64_t addr, const std::vector<uint8_t> &bytes);
+    std::vector<uint8_t> readMem(uint64_t addr, size_t n) const;
+    void write32(uint64_t addr, uint32_t v);
+    uint32_t read32(uint64_t addr) const;
+
+    /**
+     * Execute @p program from instruction 0 until Halt, emitting each
+     * retired instruction to @p sink (may be null). Throws
+     * std::runtime_error on bad memory accesses, running off the end of
+     * the program, or exceeding @p max_insts.
+     */
+    RunStats run(const Program &program, TraceSink *sink = nullptr,
+                 uint64_t max_insts = 1ull << 32);
+
+    /**
+     * When strict SBOX semantics are enabled (the default), non-aliased
+     * SBOX reads observe a snapshot of their table taken at the first
+     * access after the last SBOXSYNC — the paper's visibility rule.
+     * Disabling makes SBOX read live memory.
+     */
+    void setStrictSboxSync(bool strict) { strictSbox = strict; }
+
+  private:
+    uint64_t loadSized(uint64_t addr, unsigned size) const;
+    void storeSized(uint64_t addr, unsigned size, uint64_t value);
+    void checkAddr(uint64_t addr, unsigned size) const;
+    /** Non-aliased SBOX read honoring snapshot visibility. */
+    uint32_t sboxRead(uint64_t addr);
+
+    std::array<uint64_t, num_regs> regs{};
+    std::vector<uint8_t> mem;
+
+    bool strictSbox = true;
+    /** Snapshots of 1 KB table frames, keyed by frame base address. */
+    std::map<uint64_t, std::vector<uint8_t>> sboxSnapshots;
+};
+
+} // namespace cryptarch::isa
+
+#endif // CRYPTARCH_ISA_MACHINE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Internal interface between the kernel dispatcher and the per-cipher
+ * kernel builders, plus the shared kernel memory map.
+ */
+
+#ifndef CRYPTARCH_KERNELS_BUILDERS_HH
+#define CRYPTARCH_KERNELS_BUILDERS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace cryptarch::kernels
+{
+
+/** Kernel memory map: SBox tables are 1 KB-aligned as SBOX requires. */
+constexpr uint64_t table_region = 0x1000;
+constexpr uint64_t subkey_region = 0x8000;
+constexpr uint64_t iv_region = 0x9000;
+constexpr uint64_t aux_region = 0xA000;
+
+/** Base address of 1 KB-aligned table number @p k. */
+constexpr uint64_t
+tableAddr(unsigned k)
+{
+    return table_region + static_cast<uint64_t>(k) * 0x400;
+}
+
+/** Serialize 32-bit words little-endian. */
+std::vector<uint8_t> words32(std::span<const uint32_t> ws);
+/** Serialize 16-bit words zero-extended to 32-bit table entries. */
+std::vector<uint8_t> words16To32(std::span<const uint16_t> ws);
+/** Serialize 64-bit words little-endian. */
+std::vector<uint8_t> words64(std::span<const uint64_t> ws);
+
+// Per-cipher builders (one translation unit each). Each receives the
+// kernel direction; the dispatcher stamps cipher/variant/name.
+KernelBuild buildBlowfishKernel(KernelVariant v,
+                                std::span<const uint8_t> key,
+                                std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildIdeaKernel(KernelVariant v, std::span<const uint8_t> key,
+                            std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildRc6Kernel(KernelVariant v, std::span<const uint8_t> key,
+                           std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildRc4Kernel(KernelVariant v, std::span<const uint8_t> key,
+                           std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildRijndaelKernel(KernelVariant v,
+                                std::span<const uint8_t> key,
+                                std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildTwofishKernel(KernelVariant v,
+                               std::span<const uint8_t> key,
+                               std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildMarsKernel(KernelVariant v, std::span<const uint8_t> key,
+                            std::span<const uint8_t> iv, size_t bytes,
+                                KernelDirection dir);
+KernelBuild buildTripleDesKernel(KernelVariant v,
+                                 std::span<const uint8_t> key,
+                                 std::span<const uint8_t> iv,
+                                 size_t bytes, KernelDirection dir);
+
+} // namespace cryptarch::kernels
+
+#endif // CRYPTARCH_KERNELS_BUILDERS_HH

@@ -1,0 +1,31 @@
+#include "sim/branch_pred.hh"
+
+namespace cryptarch::sim
+{
+
+BranchPredictor::BranchPredictor(unsigned entries)
+    : table(entries ? entries : 1, 2) // weakly taken
+{
+}
+
+bool
+BranchPredictor::predict(uint32_t pc, bool taken)
+{
+    numLookups++;
+    uint8_t &ctr = table[pc % table.size()];
+    bool prediction = ctr >= 2;
+    if (taken) {
+        if (ctr < 3)
+            ctr++;
+    } else {
+        if (ctr > 0)
+            ctr--;
+    }
+    if (prediction != taken) {
+        numMispredicts++;
+        return false;
+    }
+    return true;
+}
+
+} // namespace cryptarch::sim

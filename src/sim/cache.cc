@@ -1,0 +1,159 @@
+#include "sim/cache.hh"
+
+#include <array>
+#include <cassert>
+
+namespace cryptarch::sim
+{
+
+Cache::Cache(const CacheGeometry &geom)
+    : blockBytes(geom.blockBytes), assoc(geom.assoc)
+{
+    assert(geom.sizeBytes % (geom.blockBytes * geom.assoc) == 0);
+    numSets = geom.sizeBytes / (geom.blockBytes * geom.assoc);
+    lines.resize(static_cast<size_t>(numSets) * assoc);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    stat.accesses++;
+    uint64_t block = blockOf(addr);
+    uint32_t set = block % numSets;
+    Line *ways = &lines[static_cast<size_t>(set) * assoc];
+    stamp++;
+    for (uint32_t w = 0; w < assoc; w++) {
+        if (ways[w].valid && ways[w].tag == block) {
+            ways[w].lruStamp = stamp;
+            return true;
+        }
+    }
+    stat.misses++;
+    // Fill the LRU way.
+    Line *victim = &ways[0];
+    for (uint32_t w = 1; w < assoc; w++) {
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lruStamp < victim->lruStamp && victim->valid)
+            victim = &ways[w];
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->lruStamp = stamp;
+    return false;
+}
+
+void
+Cache::prefetch(uint64_t addr)
+{
+    if (contains(addr))
+        return;
+    uint64_t block = blockOf(addr);
+    uint32_t set = block % numSets;
+    Line *ways = &lines[static_cast<size_t>(set) * assoc];
+    stamp++;
+    Line *victim = &ways[0];
+    for (uint32_t w = 1; w < assoc; w++) {
+        if (!ways[w].valid) {
+            victim = &ways[w];
+            break;
+        }
+        if (ways[w].lruStamp < victim->lruStamp && victim->valid)
+            victim = &ways[w];
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->lruStamp = stamp;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    uint64_t block = addr / blockBytes;
+    uint32_t set = block % numSets;
+    const Line *ways = &lines[static_cast<size_t>(set) * assoc];
+    for (uint32_t w = 0; w < assoc; w++) {
+        if (ways[w].valid && ways[w].tag == block)
+            return true;
+    }
+    return false;
+}
+
+Tlb::Tlb(unsigned entries, unsigned assoc, unsigned page_bytes)
+    : backing(CacheGeometry{entries * page_bytes, assoc, page_bytes}),
+      pageBytes(page_bytes)
+{
+}
+
+bool
+Tlb::access(uint64_t addr)
+{
+    stat.accesses++;
+    bool hit = backing.access(addr);
+    if (!hit)
+        stat.misses++;
+    (void)pageBytes;
+    return hit;
+}
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig &cfg)
+    : cfg(cfg), l1(cfg.l1d), l2(cfg.l2),
+      tlb(cfg.dtlbEntries, cfg.dtlbAssoc, cfg.pageBytes)
+{
+}
+
+unsigned
+MemoryHierarchy::access(uint64_t addr, unsigned size)
+{
+    (void)size;
+    if (cfg.perfectMemory)
+        return 0;
+
+    unsigned extra = 0;
+    if (!tlb.access(addr))
+        extra += cfg.dtlbMissLat;
+
+    if (l1.access(addr)) {
+        // L1 hit: no cycles beyond the base load latency.
+    } else if (l2.access(addr)) {
+        extra += cfg.l2HitLat;
+    } else {
+        extra += cfg.memLat;
+    }
+    if (cfg.nextLinePrefetch) {
+        uint64_t next = addr + cfg.l1d.blockBytes;
+        if (!l1.contains(next)) {
+            l1.prefetch(next);
+            l2.prefetch(next);
+        }
+    }
+    return extra;
+}
+
+bool
+SboxCache::access(uint64_t frame_base, unsigned offset)
+{
+    stat.accesses++;
+    unsigned sector = (offset / 32) % num_sectors;
+    if (tagValid && tag == frame_base && sectorValid[sector])
+        return true;
+    stat.misses++;
+    if (!tagValid || tag != frame_base) {
+        // Tag change: flush every sector.
+        sectorValid.fill(false);
+        tag = frame_base;
+        tagValid = true;
+    }
+    sectorValid[sector] = true;
+    return false;
+}
+
+void
+SboxCache::sync()
+{
+    sectorValid.fill(false);
+}
+
+} // namespace cryptarch::sim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cache, TLB and SBox-cache models for the timing simulator.
+ *
+ * These are latency-oracle models: each access returns the cycles the
+ * access costs and updates replacement state. The out-of-order
+ * scheduler queries them in program order, which is accurate enough
+ * for the cipher kernels (the paper observes they rarely miss at all —
+ * one value is read and then computed on for hundreds of cycles).
+ */
+
+#ifndef CRYPTARCH_SIM_CACHE_HH
+#define CRYPTARCH_SIM_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace cryptarch::sim
+{
+
+/** Hit/miss statistics of a cache-like structure. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** Set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    Cache(const CacheGeometry &geom);
+
+    /** Probe-and-fill: returns true on hit. */
+    bool access(uint64_t addr);
+    /** Fill without counting an access (prefetch). */
+    void prefetch(uint64_t addr);
+    /** Probe without filling or counting. */
+    bool contains(uint64_t addr) const;
+
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lruStamp = 0;
+    };
+
+    uint64_t blockOf(uint64_t addr) const { return addr / blockBytes; }
+
+    uint32_t blockBytes;
+    uint32_t numSets;
+    uint32_t assoc;
+    std::vector<Line> lines; ///< numSets x assoc
+    uint64_t stamp = 0;
+    CacheStats stat;
+};
+
+/** Set-associative TLB (a Cache over page numbers). */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, unsigned assoc, unsigned page_bytes);
+
+    /** Returns true on TLB hit. */
+    bool access(uint64_t addr);
+
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    Cache backing;
+    unsigned pageBytes;
+    CacheStats stat;
+};
+
+/**
+ * Two-level data memory: L1 with next-line prefetch backed by a
+ * unified L2, plus a DTLB. Returns total access latency in cycles.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MachineConfig &cfg);
+
+    /** Latency of a data access of @p size bytes at @p addr. */
+    unsigned access(uint64_t addr, unsigned size);
+
+    const CacheStats &l1Stats() const { return l1.stats(); }
+    const CacheStats &l2Stats() const { return l2.stats(); }
+    const CacheStats &tlbStats() const { return tlb.stats(); }
+
+  private:
+    const MachineConfig &cfg;
+    Cache l1;
+    Cache l2;
+    Tlb tlb;
+};
+
+/**
+ * A dedicated SBox cache: one tag (the table base) over a 1 KB frame
+ * of 32-byte sectors, per paper section 5. Read-only; SBOXSYNC clears
+ * the sector valid bits, a tag change flushes.
+ */
+class SboxCache
+{
+  public:
+    /** Access the table frame at @p frame_base with byte offset
+     *  @p offset; returns true when the sector was valid (1-cycle
+     *  access), false when it had to be demand-fetched from the
+     *  D-cache. */
+    bool access(uint64_t frame_base, unsigned offset);
+
+    /** SBOXSYNC: invalidate all sectors (tag kept). */
+    void sync();
+
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    static constexpr unsigned num_sectors = 32; // 1 KB / 32 B
+    uint64_t tag = 0;
+    bool tagValid = false;
+    std::array<bool, num_sectors> sectorValid{};
+    CacheStats stat;
+};
+
+} // namespace cryptarch::sim
+
+#endif // CRYPTARCH_SIM_CACHE_HH

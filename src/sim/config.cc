@@ -1,0 +1,134 @@
+#include "sim/config.hh"
+
+namespace cryptarch::sim
+{
+
+MachineConfig
+MachineConfig::fourWide()
+{
+    MachineConfig c;
+    c.name = "4W";
+    return c;
+}
+
+MachineConfig
+MachineConfig::fourWidePlus()
+{
+    MachineConfig c;
+    c.name = "4W+";
+    c.numSboxCaches = 4;
+    c.sboxCachePorts = 1;
+    c.numRotUnits = 4;
+    return c;
+}
+
+MachineConfig
+MachineConfig::eightWidePlus()
+{
+    MachineConfig c;
+    c.name = "8W+";
+    c.fetchBlocksPerCycle = 2;
+    c.fetchWidth = 8;
+    c.windowSize = 256;
+    c.issueWidth = 8;
+    c.numIntAlu = 8;
+    c.numRotUnits = 8;
+    c.mulHalfSlots = 4;
+    c.numDCachePorts = 4;
+    c.numSboxCaches = 4;
+    c.sboxCachePorts = 2;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dataflow()
+{
+    MachineConfig c;
+    c.name = "DF";
+    c.fetchBlocksPerCycle = unlimited;
+    c.fetchWidth = unlimited;
+    c.perfectBranch = true;
+    c.windowSize = unlimited;
+    c.issueWidth = unlimited;
+    c.frontendDepth = 0;
+    c.numIntAlu = unlimited;
+    c.numRotUnits = unlimited;
+    c.mulHalfSlots = unlimited;
+    c.numDCachePorts = unlimited;
+    c.numSboxCaches = 0;
+    c.sboxCachePorts = unlimited;
+    c.perfectSbox = true;
+    c.perfectMemory = true;
+    c.perfectAlias = true;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dfPlusAlias()
+{
+    MachineConfig c = dataflow();
+    c.name = "DF+Alias";
+    c.perfectAlias = false;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dfPlusBranch()
+{
+    MachineConfig c = dataflow();
+    c.name = "DF+Branch";
+    c.perfectBranch = false;
+    // A misprediction also re-limits fetch: redirects cost the minimum
+    // penalty but fetch stays otherwise unlimited, isolating the
+    // branch effect.
+    return c;
+}
+
+MachineConfig
+MachineConfig::dfPlusIssue()
+{
+    MachineConfig c = dataflow();
+    c.name = "DF+Issue";
+    c.issueWidth = 4;
+    c.fetchWidth = 4;
+    c.fetchBlocksPerCycle = 1;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dfPlusMem()
+{
+    MachineConfig c = dataflow();
+    c.name = "DF+Mem";
+    c.perfectMemory = false;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dfPlusResources()
+{
+    MachineConfig c = dataflow();
+    c.name = "DF+Res";
+    MachineConfig base = fourWide();
+    c.numIntAlu = base.numIntAlu;
+    c.numRotUnits = base.numRotUnits;
+    c.mulHalfSlots = base.mulHalfSlots;
+    c.numDCachePorts = base.numDCachePorts;
+    c.numSboxCaches = base.numSboxCaches;
+    c.sboxCachePorts = base.sboxCachePorts;
+    // Baseline SBOX handling (D-cache ports) replaces the ideal one,
+    // but memory stays perfect: misses cost nothing extra.
+    c.perfectSbox = false;
+    return c;
+}
+
+MachineConfig
+MachineConfig::dfPlusWindow()
+{
+    MachineConfig c = dataflow();
+    c.name = "DF+Window";
+    c.windowSize = 128;
+    return c;
+}
+
+} // namespace cryptarch::sim

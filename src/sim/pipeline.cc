@@ -1,0 +1,284 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+
+namespace cryptarch::sim
+{
+
+using isa::DynInst;
+using isa::OpClass;
+
+OooScheduler::OooScheduler(const MachineConfig &config)
+    : cfg(config), issueSlots(cfg.issueWidth), retireSlots(cfg.issueWidth),
+      aluUnits(cfg.numIntAlu), rotUnits(cfg.numRotUnits),
+      mulSlots(cfg.mulHalfSlots), dcachePorts(cfg.numDCachePorts),
+      retireRing(cfg.windowSize ? cfg.windowSize : 1, 0),
+      predictor(cfg.predictorEntries), memory(cfg)
+{
+    stats.model = cfg.name;
+    if (!cfg.perfectSbox && cfg.numSboxCaches > 0) {
+        sboxCaches.resize(cfg.numSboxCaches);
+        for (unsigned i = 0; i < cfg.numSboxCaches; i++)
+            sboxPorts.emplace_back(cfg.sboxCachePorts);
+    }
+}
+
+Cycle
+OooScheduler::fetchOf(const DynInst &inst)
+{
+    (void)inst;
+    if (nextCycleFetch) {
+        fetchCycle++;
+        fetchedThisCycle = 0;
+        blocksThisCycle = 0;
+        nextCycleFetch = false;
+    }
+    if (cfg.fetchWidth != unlimited
+        && fetchedThisCycle >= cfg.fetchWidth) {
+        fetchCycle++;
+        fetchedThisCycle = 0;
+        blocksThisCycle = 0;
+    }
+    fetchedThisCycle++;
+    return fetchCycle;
+}
+
+Cycle
+OooScheduler::issueOf(const DynInst &inst, Cycle ready, unsigned &lat)
+{
+    // Select the operation's functional unit pool, unit count, and
+    // base latency.
+    CycleResource *fu = nullptr;
+    unsigned units = 1;
+    lat = cfg.aluLat;
+
+    switch (inst.cls) {
+      case OpClass::Nop:
+        lat = 0;
+        break;
+      case OpClass::Control:
+      case OpClass::IntAlu:
+        fu = &aluUnits;
+        lat = cfg.aluLat;
+        break;
+      case OpClass::RotUnit:
+        fu = &rotUnits;
+        lat = cfg.rotLat;
+        break;
+      case OpClass::IntMult:
+        fu = &mulSlots;
+        units = 2;
+        lat = cfg.mulLat64;
+        break;
+      case OpClass::IntMult32:
+        fu = &mulSlots;
+        units = 1;
+        lat = cfg.mulLat32;
+        break;
+      case OpClass::MulMod:
+        fu = &mulSlots;
+        units = 1;
+        lat = cfg.mulmodLat;
+        break;
+      case OpClass::Load:
+        fu = &dcachePorts;
+        // Aliased SBOX accesses are loads with optimized address
+        // generation (2 cycles); ordinary loads take the full path.
+        lat = (inst.op == isa::Opcode::Sbox) ? cfg.sboxOnDcacheLat
+                                             : cfg.loadLat;
+        lat += memory.access(inst.addr, inst.size);
+        break;
+      case OpClass::Store:
+        fu = &dcachePorts;
+        lat = 1;
+        (void)memory.access(inst.addr, inst.size);
+        break;
+      case OpClass::SboxRead: {
+        if (cfg.perfectSbox) {
+            // Dataflow-style machine: 1-cycle SBox, no port pressure.
+            lat = cfg.sboxCacheLat;
+            fu = nullptr;
+        } else if (!sboxCaches.empty()) {
+            unsigned which = inst.tableId % sboxCaches.size();
+            bool hit = sboxCaches[which].access(inst.addr & ~0x3FFull,
+                                                inst.addr & 0x3FF);
+            if (hit) {
+                stats.sboxCacheHits++;
+                lat = cfg.sboxCacheLat;
+            } else {
+                // Demand-fetch the sector from the D-cache.
+                lat = cfg.sboxCacheLat + cfg.sboxOnDcacheLat
+                    + memory.access(inst.addr, inst.size);
+            }
+            fu = &sboxPorts[which];
+        } else {
+            // SBOX shares D-cache ports (the 4W configuration).
+            lat = cfg.sboxOnDcacheLat + memory.access(inst.addr,
+                                                      inst.size);
+            fu = &dcachePorts;
+        }
+        break;
+      }
+      case OpClass::SboxSync:
+        lat = 1;
+        for (auto &sc : sboxCaches)
+            sc.sync();
+        break;
+    }
+
+    // Find the first cycle with both an issue slot and a unit.
+    Cycle cycle = ready;
+    while (true) {
+        bool slot_ok = issueSlots.canReserve(cycle);
+        bool fu_ok = fu == nullptr || fu->canReserve(cycle, units);
+        if (slot_ok && fu_ok) {
+            issueSlots.book(cycle);
+            if (fu)
+                fu->book(cycle, units);
+            return cycle;
+        }
+        cycle++;
+    }
+}
+
+void
+OooScheduler::emit(const DynInst &inst)
+{
+    stats.instructions++;
+    stats.classCounts[static_cast<size_t>(inst.cls)]++;
+    if (inst.isLoad)
+        stats.loads++;
+    if (inst.isStore)
+        stats.stores++;
+    if (inst.cls == OpClass::SboxRead)
+        stats.sboxAccesses++;
+
+    // ----- fetch -----
+    Cycle fetch = fetchOf(inst);
+
+    // ----- dispatch: frontend depth + window occupancy -----
+    Cycle dispatch = fetch + cfg.frontendDepth;
+    if (cfg.windowSize != unlimited) {
+        Cycle freed = retireRing[instIndex % cfg.windowSize];
+        dispatch = std::max(dispatch, freed);
+    }
+
+    // ----- operand / ordering readiness -----
+    Cycle ready = dispatch;
+    for (unsigned s = 0; s < inst.numSrcs; s++)
+        ready = std::max(ready, regReady[inst.srcs[s]]);
+
+    if (inst.isLoad && !cfg.perfectAlias
+        && !(inst.cls == OpClass::SboxRead)) {
+        // Loads may not issue until all earlier store addresses are
+        // known. Non-aliased SBOX reads bypass the ordering queue.
+        ready = std::max(ready, storeAddrFrontier);
+    }
+    if (inst.cls == OpClass::SboxRead) {
+        // SBOX visibility is gated by the last SBOXSYNC.
+        ready = std::max(ready, syncFrontier);
+    }
+    if (inst.cls == OpClass::SboxSync) {
+        // A sync publishes all prior stores.
+        ready = std::max(ready, storeDataFrontier);
+    }
+
+    // ----- issue + latency -----
+    unsigned lat = 0;
+    Cycle issue = issueOf(inst, ready, lat);
+    Cycle complete = issue + lat;
+    maxComplete = std::max(maxComplete, complete);
+
+    // ----- side effects on global ordering state -----
+    if (inst.isStore) {
+        // The address generation micro-op only needs the base
+        // register, so the address resolves before the data arrives
+        // (split store handling, as in sim-outorder).
+        Cycle addr_ready = std::max(dispatch,
+                                    regReady[inst.addrSrc]) + 1;
+        storeAddrFrontier = std::max(storeAddrFrontier,
+                                     std::min(addr_ready, issue));
+        storeDataFrontier = std::max(storeDataFrontier, complete);
+    }
+    if (inst.cls == OpClass::SboxSync)
+        syncFrontier = complete;
+
+    if (inst.branch) {
+        bool correct = true;
+        if (inst.op != isa::Opcode::Br) {
+            stats.condBranches++;
+            correct = predictor.predict(inst.pc, inst.taken);
+            if (!correct)
+                stats.mispredicts++;
+        }
+        if (!cfg.perfectBranch && !correct) {
+            // Redirect: fetch resumes after resolution plus the
+            // minimum misprediction penalty.
+            fetchCycle = std::max<Cycle>(fetchCycle,
+                                         complete + cfg.mispredictPenalty);
+            fetchedThisCycle = 0;
+            blocksThisCycle = 0;
+            nextCycleFetch = false;
+        } else if (inst.taken
+                   && cfg.fetchBlocksPerCycle != unlimited) {
+            // A (predicted) taken branch terminates a fetch block.
+            blocksThisCycle++;
+            if (blocksThisCycle >= cfg.fetchBlocksPerCycle)
+                nextCycleFetch = true;
+        }
+    }
+
+    // ----- writeback -----
+    if (inst.dest != isa::reg_zero.n)
+        regReady[inst.dest] = complete;
+
+    // ----- retire (in order, retire-width per cycle) -----
+    Cycle retire = std::max(complete, lastRetire);
+    retire = retireSlots.reserve(retire);
+    lastRetire = retire;
+
+    if (inst.seq >= timelineFirst
+        && inst.seq < timelineFirst + timelineCount) {
+        timeline.push_back({inst.seq, inst.pc, inst.op, fetch, dispatch,
+                            ready, issue, complete, retire});
+    }
+    if (cfg.windowSize != unlimited)
+        retireRing[instIndex % cfg.windowSize] = retire;
+    instIndex++;
+
+    // Prune resource maps behind the retirement frontier.
+    if ((instIndex & 0xFFF) == 0) {
+        Cycle horizon = cfg.windowSize != unlimited
+            ? retireRing[instIndex % cfg.windowSize]
+            : lastRetire;
+        issueSlots.retireBefore(horizon);
+        retireSlots.retireBefore(horizon);
+        aluUnits.retireBefore(horizon);
+        rotUnits.retireBefore(horizon);
+        mulSlots.retireBefore(horizon);
+        dcachePorts.retireBefore(horizon);
+        for (auto &p : sboxPorts)
+            p.retireBefore(horizon);
+    }
+}
+
+SimStats
+OooScheduler::finish()
+{
+    stats.cycles = std::max(lastRetire, maxComplete) + 1;
+    stats.l1 = memory.l1Stats();
+    stats.l2 = memory.l2Stats();
+    stats.tlb = memory.tlbStats();
+    return stats;
+}
+
+SimStats
+simulate(isa::Machine &machine, const isa::Program &program,
+         const MachineConfig &config, uint64_t max_insts)
+{
+    OooScheduler sched(config);
+    machine.run(program, &sched, max_insts);
+    return sched.finish();
+}
+
+} // namespace cryptarch::sim

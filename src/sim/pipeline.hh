@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The out-of-order timing scheduler.
+ *
+ * OooScheduler consumes the dynamic instruction stream from the
+ * functional Machine (it is an isa::TraceSink) and computes, for each
+ * instruction, the cycle at which it fetches, dispatches, issues,
+ * completes and retires under the configured microarchitecture — the
+ * same dependence-and-resource-driven modeling sim-outorder performs,
+ * expressed as an online scheduling recurrence:
+ *
+ *   fetch    <- fetch bandwidth, taken-branch block limits,
+ *               branch-misprediction redirects
+ *   dispatch <- fetch + frontend depth, window occupancy (the
+ *               instruction windowSize earlier must have retired)
+ *   ready    <- operand readiness, load/store alias ordering,
+ *               SBOXSYNC visibility
+ *   issue    <- first cycle >= ready with an issue slot AND a free
+ *               functional unit (ALU, rotator/XBOX, multiplier
+ *               half-slots, D-cache port or SBox cache port)
+ *   complete <- issue + operation latency (+ memory hierarchy extra)
+ *   retire   <- in order, retire-width per cycle
+ *
+ * All constraints can be disabled individually (capacity 0 = unlimited,
+ * perfect flags), which yields the paper's DF machine and the Figure 5
+ * single-bottleneck models.
+ */
+
+#ifndef CRYPTARCH_SIM_PIPELINE_HH
+#define CRYPTARCH_SIM_PIPELINE_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hh"
+#include "sim/branch_pred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/resource.hh"
+
+namespace cryptarch::sim
+{
+
+/** Timing results of one simulated run. */
+struct SimStats
+{
+    std::string model;
+    uint64_t instructions = 0;
+    Cycle cycles = 0;
+
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t sboxAccesses = 0;   ///< non-aliased SBOX reads
+    uint64_t sboxCacheHits = 0;  ///< SBox sector-cache hits (4W+/8W+)
+
+    CacheStats l1;
+    CacheStats l2;
+    CacheStats tlb;
+
+    /** Dynamic instruction count per functional-unit class. */
+    std::array<uint64_t, 11> classCounts{};
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+};
+
+/**
+ * Pipeline timeline sample for one instruction — the data behind a
+ * SimpleView-style stall visualization (the paper's methodology for
+ * locating cipher bottlenecks).
+ */
+struct TimelineEntry
+{
+    uint64_t seq = 0;
+    uint32_t pc = 0;
+    isa::Opcode op = isa::Opcode::Halt;
+    Cycle fetch = 0;
+    Cycle dispatch = 0;
+    Cycle ready = 0;
+    Cycle issue = 0;
+    Cycle complete = 0;
+    Cycle retire = 0;
+};
+
+/** Trace-driven out-of-order core model. */
+class OooScheduler : public isa::TraceSink
+{
+  public:
+    explicit OooScheduler(const MachineConfig &config);
+
+    void emit(const isa::DynInst &inst) override;
+
+    /** Final statistics; call after the trace is fully emitted. */
+    SimStats finish();
+
+    /**
+     * Record the pipeline timeline of dynamic instructions
+     * [@p first, @p first + @p count) for later visualization.
+     */
+    void
+    recordTimeline(uint64_t first, uint64_t count)
+    {
+        timelineFirst = first;
+        timelineCount = count;
+        timeline.reserve(std::min<uint64_t>(count, 4096));
+    }
+
+    const std::vector<TimelineEntry> &timelineEntries() const
+    {
+        return timeline;
+    }
+
+  private:
+    Cycle fetchOf(const isa::DynInst &inst);
+    Cycle issueOf(const isa::DynInst &inst, Cycle ready, unsigned &lat);
+
+    MachineConfig cfg;
+    SimStats stats;
+
+    // Register scoreboard: completion cycle of the latest writer.
+    std::array<Cycle, isa::num_regs> regReady{};
+
+    // Frontend state.
+    Cycle fetchCycle = 0;
+    unsigned fetchedThisCycle = 0;
+    unsigned blocksThisCycle = 0;
+    bool nextCycleFetch = false;
+
+    // Memory ordering.
+    Cycle storeAddrFrontier = 0; ///< latest known store address-resolve
+    Cycle storeDataFrontier = 0; ///< latest store completion
+    Cycle syncFrontier = 0;      ///< last SBOXSYNC completion
+
+    // Resources.
+    CycleResource issueSlots;
+    CycleResource retireSlots;
+    CycleResource aluUnits;
+    CycleResource rotUnits;
+    CycleResource mulSlots;
+    CycleResource dcachePorts;
+    std::vector<CycleResource> sboxPorts;
+
+    // Window occupancy ring: retire cycle of instruction i - windowSize.
+    std::vector<Cycle> retireRing;
+    uint64_t instIndex = 0;
+    Cycle lastRetire = 0;
+    Cycle maxComplete = 0;
+
+    BranchPredictor predictor;
+    MemoryHierarchy memory;
+    std::vector<SboxCache> sboxCaches;
+
+    uint64_t timelineFirst = 0;
+    uint64_t timelineCount = 0;
+    std::vector<TimelineEntry> timeline;
+};
+
+/**
+ * Convenience wrapper: functionally execute @p program on @p machine
+ * while timing it on @p config.
+ */
+SimStats simulate(isa::Machine &machine, const isa::Program &program,
+                  const MachineConfig &config,
+                  uint64_t max_insts = 1ull << 32);
+
+} // namespace cryptarch::sim
+
+#endif // CRYPTARCH_SIM_PIPELINE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-cycle resource reservation used by the out-of-order scheduler.
+ *
+ * A CycleResource models a pool with fixed per-cycle capacity (issue
+ * slots, ALUs, cache ports, multiplier half-slots). reserve() finds the
+ * first cycle at or after a lower bound with spare capacity and books
+ * it. Bookkeeping lives in a hash map pruned behind a monotonically
+ * advancing horizon so multi-million-instruction traces stay cheap.
+ */
+
+#ifndef CRYPTARCH_SIM_RESOURCE_HH
+#define CRYPTARCH_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/config.hh"
+
+namespace cryptarch::sim
+{
+
+/** Cycle type used throughout the timing model. */
+using Cycle = uint64_t;
+
+class CycleResource
+{
+  public:
+    /** @param capacity units available per cycle; 0 = unlimited. */
+    explicit CycleResource(unsigned capacity = 0) : cap(capacity) {}
+
+    /**
+     * Book @p units at the first cycle >= @p earliest with room and
+     * return it. Unlimited resources return @p earliest unchanged.
+     */
+    Cycle
+    reserve(Cycle earliest, unsigned units = 1)
+    {
+        if (cap == unlimited)
+            return earliest;
+        Cycle cycle = earliest;
+        while (true) {
+            auto &used = usage[cycle];
+            if (used + units <= cap) {
+                used += units;
+                return cycle;
+            }
+            cycle++;
+        }
+    }
+
+    /** True when @p units fit at @p cycle without booking them. */
+    bool
+    canReserve(Cycle cycle, unsigned units = 1) const
+    {
+        if (cap == unlimited)
+            return true;
+        auto it = usage.find(cycle);
+        return (it == usage.end() ? 0 : it->second) + units <= cap;
+    }
+
+    /** Book @p units at @p cycle; caller checked canReserve. */
+    void
+    book(Cycle cycle, unsigned units = 1)
+    {
+        if (cap != unlimited)
+            usage[cycle] += units;
+    }
+
+    /**
+     * Drop bookkeeping for cycles below @p horizon. Callers guarantee
+     * they will never reserve below the horizon again.
+     */
+    void
+    retireBefore(Cycle horizon)
+    {
+        if (cap == unlimited)
+            return;
+        // Amortize: only sweep when the table grows.
+        if (usage.size() < 4096)
+            return;
+        for (auto it = usage.begin(); it != usage.end();) {
+            if (it->first < horizon)
+                it = usage.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    bool limited() const { return cap != unlimited; }
+
+  private:
+    unsigned cap;
+    std::unordered_map<Cycle, unsigned> usage;
+};
+
+} // namespace cryptarch::sim
+
+#endif // CRYPTARCH_SIM_RESOURCE_HH

@@ -1,0 +1,155 @@
+#include "ssl/rsa.hh"
+
+#include <stdexcept>
+
+namespace cryptarch::ssl
+{
+
+using util::BigInt;
+using util::Xorshift64;
+
+namespace
+{
+
+/** Small primes for fast trial-division filtering. */
+constexpr uint32_t small_primes[] = {
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+    61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+};
+
+bool
+divisibleBySmallPrime(const BigInt &n)
+{
+    for (uint32_t p : small_primes) {
+        auto dm = BigInt::divmod(n, BigInt(p));
+        if (dm.rem.isZero())
+            return !(n == BigInt(p));
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isProbablePrime(const BigInt &n, Xorshift64 &rng, int rounds)
+{
+    if (n < BigInt(2))
+        return false;
+    if (n == BigInt(2) || n == BigInt(3))
+        return true;
+    if (!n.isOdd())
+        return false;
+    if (divisibleBySmallPrime(n))
+        return false;
+
+    // n - 1 = d * 2^r with d odd.
+    BigInt n1 = BigInt::sub(n, BigInt(1));
+    BigInt d = n1;
+    unsigned r = 0;
+    while (!d.isOdd()) {
+        d = BigInt::shr(d, 1);
+        r++;
+    }
+
+    for (int round = 0; round < rounds; round++) {
+        // Random base in [2, n-2].
+        BigInt a = BigInt::mod(BigInt::randomBits(n.bitLength() + 8, rng),
+                               BigInt::sub(n, BigInt(3)));
+        a = BigInt::add(a, BigInt(2));
+        BigInt x = BigInt::modExp(a, d, n);
+        if (x == BigInt(1) || x == n1)
+            continue;
+        bool witness = true;
+        for (unsigned i = 1; i < r; i++) {
+            x = BigInt::mod(BigInt::mul(x, x), n);
+            if (x == n1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+BigInt
+generatePrime(unsigned bits, Xorshift64 &rng)
+{
+    if (bits < 8)
+        throw std::invalid_argument("generatePrime: too few bits");
+    while (true) {
+        BigInt cand = BigInt::randomBits(bits, rng);
+        if (!cand.isOdd())
+            cand = BigInt::add(cand, BigInt(1));
+        if (isProbablePrime(cand, rng))
+            return cand;
+    }
+}
+
+RsaKey
+generateRsaKey(unsigned bits, Xorshift64 &rng)
+{
+    RsaKey key;
+    key.bits = bits;
+    key.e = BigInt(65537);
+    while (true) {
+        key.p = generatePrime(bits / 2, rng);
+        key.q = generatePrime(bits - bits / 2, rng);
+        if (key.p == key.q)
+            continue;
+        key.n = BigInt::mul(key.p, key.q);
+        BigInt p1 = BigInt::sub(key.p, BigInt(1));
+        BigInt q1 = BigInt::sub(key.q, BigInt(1));
+        BigInt phi = BigInt::mul(p1, q1);
+        key.d = BigInt::modInverse(key.e, phi);
+        if (key.d.isZero())
+            continue; // gcd(e, phi) != 1: pick new primes
+        key.dp = BigInt::mod(key.d, p1);
+        key.dq = BigInt::mod(key.d, q1);
+        key.qinv = BigInt::modInverse(key.q, key.p);
+        if (key.qinv.isZero())
+            continue;
+        return key;
+    }
+}
+
+BigInt
+rsaPublic(const BigInt &m, const RsaKey &key)
+{
+    if (!(m < key.n))
+        throw std::invalid_argument("rsaPublic: message >= modulus");
+    return BigInt::modExp(m, key.e, key.n);
+}
+
+BigInt
+rsaPrivateNoCrt(const BigInt &c, const RsaKey &key)
+{
+    if (!(c < key.n))
+        throw std::invalid_argument("rsaPrivate: ciphertext >= modulus");
+    return BigInt::modExp(c, key.d, key.n);
+}
+
+BigInt
+rsaPrivate(const BigInt &c, const RsaKey &key)
+{
+    if (!(c < key.n))
+        throw std::invalid_argument("rsaPrivate: ciphertext >= modulus");
+    // Garner's CRT recombination: two half-size exponentiations.
+    BigInt m1 = BigInt::modExp(BigInt::mod(c, key.p), key.dp, key.p);
+    BigInt m2 = BigInt::modExp(BigInt::mod(c, key.q), key.dq, key.q);
+    // h = qinv * (m1 - m2) mod p
+    BigInt diff;
+    if (m1 >= m2) {
+        diff = BigInt::sub(m1, m2);
+    } else {
+        diff = BigInt::sub(BigInt::add(m1, key.p), BigInt::mod(m2, key.p));
+        diff = BigInt::mod(diff, key.p);
+    }
+    BigInt h = BigInt::mod(BigInt::mul(key.qinv, diff), key.p);
+    return BigInt::add(m2, BigInt::mul(h, key.q));
+}
+
+} // namespace cryptarch::ssl

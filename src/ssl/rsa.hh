@@ -1,0 +1,55 @@
+/**
+ * @file
+ * RSA public-key substrate for the SSL session model.
+ *
+ * The paper's Figure 2 splits web-server run time into public-key,
+ * private-key (symmetric) and other work. The dominant public-key cost
+ * is modular exponentiation of multiprecision numbers [Montgomery 85],
+ * which this module implements for real: Miller-Rabin prime
+ * generation, key construction, and CRT-accelerated private-key
+ * operations over util::BigInt (whose word-multiply counter feeds the
+ * cycle model).
+ */
+
+#ifndef CRYPTARCH_SSL_RSA_HH
+#define CRYPTARCH_SSL_RSA_HH
+
+#include "util/bigint.hh"
+#include "util/xorshift.hh"
+
+namespace cryptarch::ssl
+{
+
+/** An RSA key pair with CRT private components. */
+struct RsaKey
+{
+    unsigned bits = 0;
+    util::BigInt n;   ///< modulus p*q
+    util::BigInt e;   ///< public exponent (65537)
+    util::BigInt d;   ///< private exponent
+    util::BigInt p, q;
+    util::BigInt dp, dq, qinv; ///< CRT components
+};
+
+/** Miller-Rabin primality test with @p rounds random bases. */
+bool isProbablePrime(const util::BigInt &n, util::Xorshift64 &rng,
+                     int rounds = 16);
+
+/** Generate a random probable prime with exactly @p bits bits. */
+util::BigInt generatePrime(unsigned bits, util::Xorshift64 &rng);
+
+/** Generate an RSA key pair with a @p bits-bit modulus. */
+RsaKey generateRsaKey(unsigned bits, util::Xorshift64 &rng);
+
+/** Public operation: m^e mod n. @p m must be < n. */
+util::BigInt rsaPublic(const util::BigInt &m, const RsaKey &key);
+
+/** Private operation via CRT: c^d mod n. @p c must be < n. */
+util::BigInt rsaPrivate(const util::BigInt &c, const RsaKey &key);
+
+/** Private operation without CRT (for validation and cost contrast). */
+util::BigInt rsaPrivateNoCrt(const util::BigInt &c, const RsaKey &key);
+
+} // namespace cryptarch::ssl
+
+#endif // CRYPTARCH_SSL_RSA_HH

@@ -1,0 +1,62 @@
+#include "ssl/session.hh"
+
+#include "kernels/kernel.hh"
+#include "sim/pipeline.hh"
+#include "util/xorshift.hh"
+
+namespace cryptarch::ssl
+{
+
+using util::BigInt;
+using util::Xorshift64;
+
+SessionModel::SessionModel(crypto::CipherId bulk_cipher,
+                           SessionModelParams p)
+    : cipher(bulk_cipher), params(p)
+{
+    // --- handshake cost: count word multiplies of a real handshake ---
+    Xorshift64 rng(0x55E55107);
+    RsaKey key = generateRsaKey(params.rsaBits, rng);
+    BigInt premaster = BigInt::mod(
+        BigInt::randomBits(params.rsaBits - 2, rng), key.n);
+    BigInt::resetMulOps();
+    BigInt wrapped = rsaPublic(premaster, key); // client side
+    (void)rsaPrivate(wrapped, key);             // server side
+    handshakeCyc =
+        static_cast<double>(BigInt::mulOps()) * params.cyclesPerWordMul;
+
+    // --- bulk cost: simulate the cipher kernel on the 4W machine ---
+    const auto &info = crypto::cipherInfo(cipher);
+    const size_t probe_bytes = 4096;
+    auto cipher_key = rng.bytes(info.keyBits / 8);
+    auto iv = rng.bytes(info.isStream ? 0 : info.blockBytes);
+    auto build =
+        kernels::buildKernel(cipher, kernels::KernelVariant::BaselineRot,
+                             cipher_key, iv, probe_bytes);
+    isa::Machine m;
+    auto pt = rng.bytes(probe_bytes);
+    build.install(m, kernels::toWordImage(cipher, pt));
+    sim::OooScheduler sched(sim::MachineConfig::fourWide());
+    m.run(build.program, &sched, 1ull << 30);
+    auto stats = sched.finish();
+    bulkCpb = static_cast<double>(stats.cycles) / probe_bytes;
+
+    // --- setup cost: instruction estimate over the measured IPC ---
+    uint64_t setup_insts = info.isStream
+        ? crypto::makeStreamCipher(cipher)->setupOpEstimate()
+        : crypto::makeBlockCipher(cipher)->setupOpEstimate();
+    setupCyc = static_cast<double>(setup_insts) / stats.ipc();
+}
+
+SessionCost
+SessionModel::cost(size_t bytes) const
+{
+    SessionCost c;
+    c.publicKeyCycles = handshakeCyc;
+    c.privateKeyCycles = setupCyc + bulkCpb * static_cast<double>(bytes);
+    c.otherCycles = params.requestOverheadCycles
+        + params.perByteOverheadCycles * static_cast<double>(bytes);
+    return c;
+}
+
+} // namespace cryptarch::ssl

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SSL session cost model (paper Figure 2).
+ *
+ * A session is one public-key handshake (RSA private-key operation on
+ * the server plus the client's cheap public operation) followed by
+ * bulk private-key encryption of the payload, plus fixed per-request
+ * server/OS overhead. The paper's Figure 2 plots the fraction of
+ * server run time in each component against session length.
+ *
+ * All three components are computed, not transcribed:
+ *  - public-key cycles derive from the actual count of 32x32 word
+ *    multiplies executed by the Montgomery modexp (util::BigInt's
+ *    instrumentation), scaled by a cycles-per-multiply constant;
+ *  - private-key cycles come from the cycle-level simulator running
+ *    the cipher kernel on the baseline 4W machine (cycles/byte plus
+ *    amortized key-setup cost);
+ *  - "other" is a fixed per-request overhead plus a per-byte copy
+ *    cost, the calibration documented in EXPERIMENTS.md.
+ */
+
+#ifndef CRYPTARCH_SSL_SESSION_HH
+#define CRYPTARCH_SSL_SESSION_HH
+
+#include <cstdint>
+
+#include "crypto/cipher.hh"
+#include "ssl/rsa.hh"
+
+namespace cryptarch::ssl
+{
+
+/** Cycle breakdown of one session. */
+struct SessionCost
+{
+    double publicKeyCycles = 0;
+    double privateKeyCycles = 0;
+    double otherCycles = 0;
+
+    double
+    total() const
+    {
+        return publicKeyCycles + privateKeyCycles + otherCycles;
+    }
+
+    double publicFraction() const { return publicKeyCycles / total(); }
+    double privateFraction() const { return privateKeyCycles / total(); }
+    double otherFraction() const { return otherCycles / total(); }
+};
+
+/** Tunable constants of the cost model. */
+struct SessionModelParams
+{
+    unsigned rsaBits = 1024;
+    /** Cycles per 32x32->64 multiply in the bignum inner loop
+     *  (multiply + accumulate + carry bookkeeping on the 4W core). */
+    double cyclesPerWordMul = 2.5;
+    /** Fixed request handling overhead (parsing, socket, scheduling). */
+    double requestOverheadCycles = 500e3;
+    /** Per-payload-byte server copy/checksum cost. */
+    double perByteOverheadCycles = 4.0;
+};
+
+/** Figure 2 generator for one bulk cipher. */
+class SessionModel
+{
+  public:
+    /**
+     * Build the model: generates an RSA key, measures the handshake's
+     * word-multiply count, and times @p bulk_cipher's kernel on the
+     * baseline machine.
+     */
+    explicit SessionModel(crypto::CipherId bulk_cipher,
+                          SessionModelParams params = {});
+
+    /** Cycle breakdown for a session transferring @p bytes. */
+    SessionCost cost(size_t bytes) const;
+
+    /** Measured bulk encryption rate, cycles per byte (4W model). */
+    double bulkCyclesPerByte() const { return bulkCpb; }
+    /** Amortized key-setup cycles charged once per session. */
+    double setupCycles() const { return setupCyc; }
+    /** Handshake cost in cycles. */
+    double handshakeCycles() const { return handshakeCyc; }
+
+  private:
+    crypto::CipherId cipher;
+    SessionModelParams params;
+    double handshakeCyc = 0;
+    double bulkCpb = 0;
+    double setupCyc = 0;
+};
+
+} // namespace cryptarch::ssl
+
+#endif // CRYPTARCH_SSL_SESSION_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across cryptarch.
+ *
+ * Every cipher in the suite is specified in terms of 32-bit rotates and
+ * byte extraction; these helpers keep that arithmetic in one place and
+ * keep it well-defined for all shift amounts (including 0 and the word
+ * size, which are UB with naive shift expressions).
+ */
+
+#ifndef CRYPTARCH_UTIL_BITOPS_HH
+#define CRYPTARCH_UTIL_BITOPS_HH
+
+#include <cstdint>
+
+namespace cryptarch::util
+{
+
+/** Rotate a 32-bit word left by @p n (any n; only low 5 bits matter). */
+constexpr uint32_t
+rotl32(uint32_t x, unsigned n)
+{
+    n &= 31;
+    return n == 0 ? x : ((x << n) | (x >> (32 - n)));
+}
+
+/** Rotate a 32-bit word right by @p n (any n; only low 5 bits matter). */
+constexpr uint32_t
+rotr32(uint32_t x, unsigned n)
+{
+    n &= 31;
+    return n == 0 ? x : ((x >> n) | (x << (32 - n)));
+}
+
+/** Rotate a 64-bit word left by @p n (any n; only low 6 bits matter). */
+constexpr uint64_t
+rotl64(uint64_t x, unsigned n)
+{
+    n &= 63;
+    return n == 0 ? x : ((x << n) | (x >> (64 - n)));
+}
+
+/** Rotate a 64-bit word right by @p n (any n; only low 6 bits matter). */
+constexpr uint64_t
+rotr64(uint64_t x, unsigned n)
+{
+    n &= 63;
+    return n == 0 ? x : ((x >> n) | (x << (64 - n)));
+}
+
+/** Extract byte @p i (0 = least significant) of a 32-bit word. */
+constexpr uint8_t
+byteOf(uint32_t x, unsigned i)
+{
+    return static_cast<uint8_t>(x >> (8 * (i & 3)));
+}
+
+/** Load a 32-bit little-endian word from a byte buffer. */
+constexpr uint32_t
+load32le(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8)
+        | (static_cast<uint32_t>(p[2]) << 16)
+        | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/** Store a 32-bit word little-endian into a byte buffer. */
+constexpr void
+store32le(uint8_t *p, uint32_t x)
+{
+    p[0] = static_cast<uint8_t>(x);
+    p[1] = static_cast<uint8_t>(x >> 8);
+    p[2] = static_cast<uint8_t>(x >> 16);
+    p[3] = static_cast<uint8_t>(x >> 24);
+}
+
+/** Load a 32-bit big-endian word from a byte buffer. */
+constexpr uint32_t
+load32be(const uint8_t *p)
+{
+    return (static_cast<uint32_t>(p[0]) << 24)
+        | (static_cast<uint32_t>(p[1]) << 16)
+        | (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+/** Store a 32-bit word big-endian into a byte buffer. */
+constexpr void
+store32be(uint8_t *p, uint32_t x)
+{
+    p[0] = static_cast<uint8_t>(x >> 24);
+    p[1] = static_cast<uint8_t>(x >> 16);
+    p[2] = static_cast<uint8_t>(x >> 8);
+    p[3] = static_cast<uint8_t>(x);
+}
+
+/** Load a 64-bit big-endian word from a byte buffer. */
+constexpr uint64_t
+load64be(const uint8_t *p)
+{
+    return (static_cast<uint64_t>(load32be(p)) << 32) | load32be(p + 4);
+}
+
+/** Store a 64-bit word big-endian into a byte buffer. */
+constexpr void
+store64be(uint8_t *p, uint64_t x)
+{
+    store32be(p, static_cast<uint32_t>(x >> 32));
+    store32be(p + 4, static_cast<uint32_t>(x));
+}
+
+} // namespace cryptarch::util
+
+#endif // CRYPTARCH_UTIL_BITOPS_HH

@@ -1,0 +1,70 @@
+#include "util/hex.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace cryptarch::util
+{
+
+namespace
+{
+
+constexpr char digits[] = "0123456789abcdef";
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+toHex(const uint8_t *data, size_t n)
+{
+    std::string out;
+    out.reserve(n * 2);
+    for (size_t i = 0; i < n; i++) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xF]);
+    }
+    return out;
+}
+
+std::string
+toHex(const std::vector<uint8_t> &data)
+{
+    return toHex(data.data(), data.size());
+}
+
+std::vector<uint8_t>
+fromHex(std::string_view hex)
+{
+    std::vector<uint8_t> out;
+    out.reserve(hex.size() / 2);
+    int hi = -1;
+    for (char c : hex) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        int v = hexVal(c);
+        if (v < 0)
+            throw std::invalid_argument("fromHex: non-hex character");
+        if (hi < 0) {
+            hi = v;
+        } else {
+            out.push_back(static_cast<uint8_t>((hi << 4) | v));
+            hi = -1;
+        }
+    }
+    if (hi >= 0)
+        throw std::invalid_argument("fromHex: odd number of hex digits");
+    return out;
+}
+
+} // namespace cryptarch::util

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Hex encoding/decoding helpers for test vectors and tool output.
+ */
+
+#ifndef CRYPTARCH_UTIL_HEX_HH
+#define CRYPTARCH_UTIL_HEX_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cryptarch::util
+{
+
+/** Encode @p data as lowercase hex. */
+std::string toHex(const std::vector<uint8_t> &data);
+
+/** Encode @p n bytes at @p data as lowercase hex. */
+std::string toHex(const uint8_t *data, size_t n);
+
+/**
+ * Decode a hex string (case-insensitive, whitespace ignored) into bytes.
+ * Throws std::invalid_argument on non-hex characters or odd digit count.
+ */
+std::vector<uint8_t> fromHex(std::string_view hex);
+
+} // namespace cryptarch::util
+
+#endif // CRYPTARCH_UTIL_HEX_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic xorshift64* pseudo-random generator.
+ *
+ * Used for reproducible test inputs, synthetic plaintext generation in the
+ * benchmark harness, and the substituted MARS S-box table (see DESIGN.md
+ * section 2.2). Not cryptographically secure; not used for key material in
+ * any security-relevant sense.
+ */
+
+#ifndef CRYPTARCH_UTIL_XORSHIFT_HH
+#define CRYPTARCH_UTIL_XORSHIFT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cryptarch::util
+{
+
+/**
+ * xorshift64* generator with the multiplier from Vigna's original paper.
+ * A zero seed is remapped so the state never sticks at zero.
+ */
+class Xorshift64
+{
+  public:
+    explicit Xorshift64(uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {}
+
+    /** Next 64-bit pseudo-random value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Next 32-bit pseudo-random value. */
+    uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
+
+    /** Next byte. */
+    uint8_t nextByte() { return static_cast<uint8_t>(next() >> 56); }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound) { return next() % bound; }
+
+    /** Fill @p n bytes of reproducible pseudo-random data. */
+    std::vector<uint8_t>
+    bytes(size_t n)
+    {
+        std::vector<uint8_t> out(n);
+        for (auto &b : out)
+            b = nextByte();
+        return out;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace cryptarch::util
+
+#endif // CRYPTARCH_UTIL_XORSHIFT_HH

@@ -1,0 +1,96 @@
+/** @file Known-answer and property tests for Blowfish. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/blowfish.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+std::string
+bfEncrypt(const std::string &key_hex, const std::string &pt_hex)
+{
+    Blowfish bf;
+    bf.setKey(fromHex(key_hex));
+    auto pt = fromHex(pt_hex);
+    uint8_t ct[8];
+    bf.encryptBlock(pt.data(), ct);
+    return toHex(ct, 8);
+}
+
+// Schneier's published ECB test vectors. These transitively validate
+// the pi-digit generator that builds the P/S tables.
+TEST(Blowfish, KnownAnswerZero)
+{
+    EXPECT_EQ(bfEncrypt("0000000000000000", "0000000000000000"),
+              "4ef997456198dd78");
+}
+
+TEST(Blowfish, KnownAnswerOnes)
+{
+    EXPECT_EQ(bfEncrypt("ffffffffffffffff", "ffffffffffffffff"),
+              "51866fd5b85ecb8a");
+}
+
+TEST(Blowfish, KnownAnswerMixed)
+{
+    EXPECT_EQ(bfEncrypt("3000000000000000", "1000000000000001"),
+              "7d856f9a613063f2");
+    EXPECT_EQ(bfEncrypt("0123456789abcdef", "1111111111111111"),
+              "61f9c3802281b096");
+}
+
+TEST(Blowfish, RoundtripWith128BitKey)
+{
+    Blowfish bf;
+    bf.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Xorshift64 rng(11);
+    for (int i = 0; i < 50; i++) {
+        auto pt = rng.bytes(8);
+        uint8_t ct[8], back[8];
+        bf.encryptBlock(pt.data(), ct);
+        bf.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 8), pt);
+    }
+}
+
+TEST(Blowfish, WordInterfaceMatchesByteInterface)
+{
+    Blowfish bf;
+    bf.setKey(fromHex("00112233445566778899aabbccddeeff"));
+    uint32_t l = 0x01234567, r = 0x89ABCDEF;
+    uint8_t block[8] = {0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF};
+    uint8_t ct[8];
+    bf.encryptBlock(block, ct);
+    bf.encryptWords(l, r);
+    EXPECT_EQ(l, (uint32_t(ct[0]) << 24) | (uint32_t(ct[1]) << 16)
+                  | (uint32_t(ct[2]) << 8) | ct[3]);
+    EXPECT_EQ(r, (uint32_t(ct[4]) << 24) | (uint32_t(ct[5]) << 16)
+                  | (uint32_t(ct[6]) << 8) | ct[7]);
+}
+
+TEST(Blowfish, ExpandedTablesDependOnKey)
+{
+    Blowfish a, b;
+    a.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    b.setKey(fromHex("000102030405060708090a0b0c0d0e0e"));
+    EXPECT_NE(a.pArray(), b.pArray());
+    EXPECT_NE(a.sBoxes()[0], b.sBoxes()[0]);
+}
+
+TEST(Blowfish, RejectsBadKeySizes)
+{
+    Blowfish bf;
+    EXPECT_THROW(bf.setKey(std::vector<uint8_t>{}), std::invalid_argument);
+    EXPECT_THROW(bf.setKey(std::vector<uint8_t>(57, 0)),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/** @file Tests pinning the cipher catalog to paper Table 1. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/cipher.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+
+TEST(Catalog, HasAllEightCiphers)
+{
+    EXPECT_EQ(cipherCatalog().size(), 8u);
+}
+
+TEST(Catalog, Table1BlockSizes)
+{
+    EXPECT_EQ(cipherInfo(CipherId::TripleDES).blockBytes, 8u);
+    EXPECT_EQ(cipherInfo(CipherId::Blowfish).blockBytes, 8u);
+    EXPECT_EQ(cipherInfo(CipherId::IDEA).blockBytes, 8u);
+    EXPECT_EQ(cipherInfo(CipherId::MARS).blockBytes, 16u);
+    EXPECT_EQ(cipherInfo(CipherId::RC4).blockBytes, 1u);
+    EXPECT_EQ(cipherInfo(CipherId::RC6).blockBytes, 16u);
+    EXPECT_EQ(cipherInfo(CipherId::Rijndael).blockBytes, 16u);
+    EXPECT_EQ(cipherInfo(CipherId::Twofish).blockBytes, 16u);
+}
+
+TEST(Catalog, Table1Rounds)
+{
+    EXPECT_EQ(cipherInfo(CipherId::TripleDES).rounds, 48u);
+    EXPECT_EQ(cipherInfo(CipherId::Blowfish).rounds, 16u);
+    EXPECT_EQ(cipherInfo(CipherId::IDEA).rounds, 8u);
+    EXPECT_EQ(cipherInfo(CipherId::MARS).rounds, 16u);
+    EXPECT_EQ(cipherInfo(CipherId::RC4).rounds, 1u);
+    EXPECT_EQ(cipherInfo(CipherId::RC6).rounds, 18u);
+    EXPECT_EQ(cipherInfo(CipherId::Rijndael).rounds, 10u);
+    EXPECT_EQ(cipherInfo(CipherId::Twofish).rounds, 16u);
+}
+
+TEST(Catalog, OnlyRc4IsStream)
+{
+    for (const auto &info : cipherCatalog())
+        EXPECT_EQ(info.isStream, info.id == CipherId::RC4) << info.name;
+}
+
+TEST(Catalog, FactoriesMatchIds)
+{
+    for (const auto &info : cipherCatalog()) {
+        if (info.isStream) {
+            auto sc = makeStreamCipher(info.id);
+            EXPECT_EQ(sc->info().name, info.name);
+            EXPECT_THROW(makeBlockCipher(info.id), std::invalid_argument);
+        } else {
+            auto bc = makeBlockCipher(info.id);
+            EXPECT_EQ(bc->info().name, info.name);
+            EXPECT_THROW(makeStreamCipher(info.id), std::invalid_argument);
+        }
+    }
+}
+
+TEST(Catalog, SetupEstimatesArePositive)
+{
+    for (const auto &info : cipherCatalog()) {
+        uint64_t est = info.isStream
+            ? makeStreamCipher(info.id)->setupOpEstimate()
+            : makeBlockCipher(info.id)->setupOpEstimate();
+        EXPECT_GT(est, 0u) << info.name;
+    }
+}
+
+// Figure 6 sanity: Blowfish setup must dwarf every other cipher's.
+TEST(Catalog, BlowfishSetupDominates)
+{
+    uint64_t blowfish =
+        makeBlockCipher(CipherId::Blowfish)->setupOpEstimate();
+    for (const auto &info : cipherCatalog()) {
+        if (info.id == CipherId::Blowfish || info.isStream)
+            continue;
+        EXPECT_GT(blowfish,
+                  3 * makeBlockCipher(info.id)->setupOpEstimate())
+            << info.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/** @file Known-answer and property tests for IDEA. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/idea.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+// The standard IDEA reference vector (Lai's thesis / ETH test suite).
+TEST(Idea, KnownAnswer)
+{
+    Idea idea;
+    idea.setKey(fromHex("00010002000300040005000600070008"));
+    auto pt = fromHex("0000000100020003");
+    uint8_t ct[8];
+    idea.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(toHex(ct, 8), "11fbed2b01986de5");
+    uint8_t back[8];
+    idea.decryptBlock(ct, back);
+    EXPECT_EQ(toHex(back, 8), "0000000100020003");
+}
+
+TEST(Idea, Roundtrip)
+{
+    Idea idea;
+    idea.setKey(fromHex("2bd6459f82c5b300952c49104881ff48"));
+    Xorshift64 rng(21);
+    for (int i = 0; i < 100; i++) {
+        auto pt = rng.bytes(8);
+        uint8_t ct[8], back[8];
+        idea.encryptBlock(pt.data(), ct);
+        idea.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 8), pt);
+    }
+}
+
+TEST(IdeaMulMod, ZeroConvention)
+{
+    // 0 encodes 2^16 = -1 (mod 2^16+1): (-1)*(-1) = 1.
+    EXPECT_EQ(ideaMulMod(0, 0), 1);
+    // (-1)*b = p - b
+    EXPECT_EQ(ideaMulMod(0, 1), 0); // p - 1 = 2^16, encoded as 0
+    EXPECT_EQ(ideaMulMod(0, 2), 0xFFFF);
+    EXPECT_EQ(ideaMulMod(5, 0), ideaMulMod(0, 5));
+}
+
+TEST(IdeaMulMod, MatchesNaiveModularMultiply)
+{
+    Xorshift64 rng(22);
+    auto naive = [](uint32_t a, uint32_t b) {
+        uint64_t aa = a == 0 ? 0x10000 : a;
+        uint64_t bb = b == 0 ? 0x10000 : b;
+        uint64_t r = aa * bb % 0x10001;
+        return static_cast<uint16_t>(r == 0x10000 ? 0 : r);
+    };
+    for (int i = 0; i < 5000; i++) {
+        uint16_t a = static_cast<uint16_t>(rng.next());
+        uint16_t b = static_cast<uint16_t>(rng.next());
+        ASSERT_EQ(ideaMulMod(a, b), naive(a, b)) << a << " * " << b;
+    }
+}
+
+TEST(IdeaMulInverse, InvertsEverything)
+{
+    // Every residue of the prime field (0 encoding 2^16) is invertible.
+    for (uint32_t a = 0; a < 0x10000; a += 37) {
+        uint16_t inv = ideaMulInverse(static_cast<uint16_t>(a));
+        EXPECT_EQ(ideaMulMod(static_cast<uint16_t>(a), inv), 1) << a;
+    }
+    EXPECT_EQ(ideaMulInverse(1), 1);
+    EXPECT_EQ(ideaMulInverse(0), 0); // 2^16 is self-inverse
+}
+
+TEST(Idea, SubkeyScheduleFirstBatch)
+{
+    // The first eight subkeys are the key words themselves.
+    Idea idea;
+    idea.setKey(fromHex("00010002000300040005000600070008"));
+    const auto &ek = idea.encryptKeys();
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(ek[i], i + 1) << "subkey " << i;
+    // The ninth subkey starts the 25-bit-rotated schedule: bits 25..40
+    // of the original key = (word1 << 9) | (word2 >> 7).
+    EXPECT_EQ(ek[8], 0x0400);
+}
+
+TEST(Idea, RejectsBadKeySize)
+{
+    Idea idea;
+    EXPECT_THROW(idea.setKey(fromHex("0001")), std::invalid_argument);
+}
+
+} // namespace

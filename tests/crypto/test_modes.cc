@@ -1,0 +1,164 @@
+/** @file Tests for ECB and CTR modes, plus a CBC known-answer vector. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/cbc.hh"
+#include "crypto/modes.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+std::vector<CipherId>
+blockCipherIds()
+{
+    std::vector<CipherId> ids;
+    for (const auto &info : cipherCatalog()) {
+        if (!info.isStream)
+            ids.push_back(info.id);
+    }
+    return ids;
+}
+
+// NIST SP 800-38A F.2.1: AES-128-CBC encryption, first block.
+TEST(CbcKat, Sp800_38aAes128)
+{
+    auto cipher = makeBlockCipher(CipherId::Rijndael);
+    cipher->setKey(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    auto iv = fromHex("000102030405060708090a0b0c0d0e0f");
+    auto pt = fromHex("6bc1bee22e409f96e93d7e117393172a");
+    CbcEncryptor enc(*cipher, iv);
+    EXPECT_EQ(toHex(enc.encrypt(pt)),
+              "7649abac8119b246cee98e9b12e9197d");
+}
+
+// NIST SP 800-38A F.5.1: AES-128-CTR uses a full 16-byte initial
+// counter; our CTR fixes the low 4 bytes as the counter, so this test
+// checks the construction against a manual ECB-of-counter reference
+// instead of the NIST stream.
+TEST(Ctr, MatchesManualCounterEncryption)
+{
+    auto cipher = makeBlockCipher(CipherId::Rijndael);
+    Xorshift64 rng(1);
+    cipher->setKey(rng.bytes(16));
+    auto nonce = rng.bytes(12);
+    auto pt = rng.bytes(48);
+
+    CtrCipher ctr(*cipher, nonce);
+    auto ct = ctr.process(pt);
+
+    for (uint32_t block = 0; block < 3; block++) {
+        std::vector<uint8_t> counter_block = nonce;
+        counter_block.resize(16, 0);
+        counter_block[12] = static_cast<uint8_t>(block >> 24);
+        counter_block[13] = static_cast<uint8_t>(block >> 16);
+        counter_block[14] = static_cast<uint8_t>(block >> 8);
+        counter_block[15] = static_cast<uint8_t>(block);
+        uint8_t ks[16];
+        cipher->encryptBlock(counter_block.data(), ks);
+        for (int i = 0; i < 16; i++) {
+            EXPECT_EQ(ct[16 * block + i], pt[16 * block + i] ^ ks[i])
+                << "block " << block << " byte " << i;
+        }
+    }
+}
+
+class ModesAllCiphers : public ::testing::TestWithParam<CipherId>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cipher = makeBlockCipher(GetParam());
+        Xorshift64 rng(7 + static_cast<int>(GetParam()));
+        cipher->setKey(rng.bytes(cipher->info().keyBits / 8));
+        bs = cipher->info().blockBytes;
+    }
+
+    std::unique_ptr<BlockCipher> cipher;
+    size_t bs = 0;
+};
+
+TEST_P(ModesAllCiphers, EcbRoundtrip)
+{
+    Xorshift64 rng(11);
+    auto pt = rng.bytes(bs * 9);
+    EcbEncryptor enc(*cipher);
+    EcbDecryptor dec(*cipher);
+    auto ct = enc.encrypt(pt);
+    EXPECT_NE(ct, pt);
+    EXPECT_EQ(dec.decrypt(ct), pt);
+}
+
+TEST_P(ModesAllCiphers, EcbLeaksEqualBlocksCbcDoesNot)
+{
+    // The textbook contrast: identical plaintext blocks produce
+    // identical ECB ciphertext blocks but distinct CBC blocks.
+    std::vector<uint8_t> pt(bs * 2, 0x42);
+    EcbEncryptor ecb(*cipher);
+    auto ect = ecb.encrypt(pt);
+    EXPECT_EQ(std::vector<uint8_t>(ect.begin(), ect.begin() + bs),
+              std::vector<uint8_t>(ect.begin() + bs, ect.end()));
+
+    Xorshift64 rng(12);
+    auto iv = rng.bytes(bs);
+    CbcEncryptor cbc(*cipher, iv);
+    auto cct = cbc.encrypt(pt);
+    EXPECT_NE(std::vector<uint8_t>(cct.begin(), cct.begin() + bs),
+              std::vector<uint8_t>(cct.begin() + bs, cct.end()));
+}
+
+TEST_P(ModesAllCiphers, CtrRoundtripAndPartialBlocks)
+{
+    Xorshift64 rng(13);
+    auto nonce = rng.bytes(bs - 4);
+    auto pt = rng.bytes(bs * 5 + 3); // ragged tail
+
+    CtrCipher enc(*cipher, nonce);
+    auto ct = enc.process(pt);
+    EXPECT_NE(ct, pt);
+
+    CtrCipher dec(*cipher, nonce);
+    EXPECT_EQ(dec.process(ct), pt);
+}
+
+TEST_P(ModesAllCiphers, CtrIsPositionStateful)
+{
+    Xorshift64 rng(14);
+    auto nonce = rng.bytes(bs - 4);
+    auto pt = rng.bytes(64);
+    CtrCipher whole(*cipher, nonce);
+    auto one = whole.process(pt);
+    CtrCipher split(*cipher, nonce);
+    std::vector<uint8_t> two(64);
+    split.process(pt.data(), two.data(), 10);
+    split.process(pt.data() + 10, two.data() + 10, 54);
+    EXPECT_EQ(one, two);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBlockCiphers, ModesAllCiphers,
+    ::testing::ValuesIn(blockCipherIds()),
+    [](const ::testing::TestParamInfo<CipherId> &info) {
+        return cipherInfo(info.param).name;
+    });
+
+TEST(Modes, RejectionCases)
+{
+    auto cipher = makeBlockCipher(CipherId::Blowfish);
+    Xorshift64 rng(15);
+    cipher->setKey(rng.bytes(16));
+    EcbEncryptor ecb(*cipher);
+    auto ragged = rng.bytes(12);
+    EXPECT_THROW(ecb.encrypt(ragged), std::invalid_argument);
+    auto bad_nonce = rng.bytes(3);
+    EXPECT_THROW(CtrCipher(*cipher, bad_nonce), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/** @file Known-answer and property tests for RC4. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/rc4.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+std::string
+rc4Process(const std::string &key_ascii, const std::string &pt_ascii)
+{
+    Rc4 rc4;
+    std::vector<uint8_t> key(key_ascii.begin(), key_ascii.end());
+    rc4.setKey(key);
+    std::vector<uint8_t> pt(pt_ascii.begin(), pt_ascii.end());
+    std::vector<uint8_t> ct(pt.size());
+    rc4.process(pt.data(), ct.data(), pt.size());
+    return toHex(ct);
+}
+
+// The three classic RC4 vectors.
+TEST(Rc4, KnownAnswerKeyPlaintext)
+{
+    EXPECT_EQ(rc4Process("Key", "Plaintext"), "bbf316e8d940af0ad3");
+}
+
+TEST(Rc4, KnownAnswerWikipedia)
+{
+    EXPECT_EQ(rc4Process("Wiki", "pedia"), "1021bf0420");
+}
+
+TEST(Rc4, KnownAnswerAttackAtDawn)
+{
+    EXPECT_EQ(rc4Process("Secret", "Attack at dawn"),
+              "45a01f645fc35b383552544b9bf5");
+}
+
+TEST(Rc4, EncryptTwiceIsIdentity)
+{
+    Xorshift64 rng(33);
+    auto key = rng.bytes(16);
+    auto pt = rng.bytes(1000);
+    Rc4 a, b;
+    a.setKey(key);
+    b.setKey(key);
+    std::vector<uint8_t> ct(pt.size()), back(pt.size());
+    a.process(pt.data(), ct.data(), pt.size());
+    b.process(ct.data(), back.data(), ct.size());
+    EXPECT_EQ(back, pt);
+}
+
+TEST(Rc4, StreamIsPositionDependent)
+{
+    // Processing in two chunks must equal processing in one call.
+    Xorshift64 rng(34);
+    auto key = rng.bytes(16);
+    auto pt = rng.bytes(256);
+    Rc4 whole, split;
+    whole.setKey(key);
+    split.setKey(key);
+    std::vector<uint8_t> a(pt.size()), b(pt.size());
+    whole.process(pt.data(), a.data(), pt.size());
+    split.process(pt.data(), b.data(), 100);
+    split.process(pt.data() + 100, b.data() + 100, pt.size() - 100);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rc4, SetKeyResetsState)
+{
+    Xorshift64 rng(35);
+    auto key = rng.bytes(16);
+    auto pt = rng.bytes(64);
+    Rc4 rc4;
+    rc4.setKey(key);
+    std::vector<uint8_t> first(pt.size()), second(pt.size());
+    rc4.process(pt.data(), first.data(), pt.size());
+    rc4.setKey(key);
+    rc4.process(pt.data(), second.data(), pt.size());
+    EXPECT_EQ(first, second);
+}
+
+TEST(Rc4, StateIsAPermutation)
+{
+    Rc4 rc4;
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    rc4.setKey(key);
+    std::array<bool, 256> seen{};
+    for (uint8_t v : rc4.state()) {
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Rc4, RejectsBadKeySizes)
+{
+    Rc4 rc4;
+    EXPECT_THROW(rc4.setKey(std::vector<uint8_t>{}), std::invalid_argument);
+    EXPECT_THROW(rc4.setKey(std::vector<uint8_t>(257, 1)),
+                 std::invalid_argument);
+}
+
+} // namespace

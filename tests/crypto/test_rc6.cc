@@ -1,0 +1,71 @@
+/** @file Known-answer and property tests for RC6. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/rc6.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+std::string
+rc6Encrypt(const std::string &key_hex, const std::string &pt_hex)
+{
+    Rc6 rc6;
+    rc6.setKey(fromHex(key_hex));
+    auto pt = fromHex(pt_hex);
+    uint8_t ct[16];
+    rc6.encryptBlock(pt.data(), ct);
+    return toHex(ct, 16);
+}
+
+// Test vectors from the RC6 AES submission specification.
+TEST(Rc6, KnownAnswerZeroKey)
+{
+    EXPECT_EQ(rc6Encrypt("00000000000000000000000000000000",
+                         "00000000000000000000000000000000"),
+              "8fc3a53656b1f778c129df4e9848a41e");
+}
+
+TEST(Rc6, KnownAnswerSpecVector)
+{
+    EXPECT_EQ(rc6Encrypt("0123456789abcdef0112233445566778",
+                         "02132435465768798a9bacbdcedfe0f1"),
+              "524e192f4715c6231f51f6367ea43f18");
+}
+
+TEST(Rc6, Roundtrip)
+{
+    Rc6 rc6;
+    rc6.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Xorshift64 rng(44);
+    for (int i = 0; i < 100; i++) {
+        auto pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        rc6.encryptBlock(pt.data(), ct);
+        rc6.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 16), pt);
+    }
+}
+
+TEST(Rc6, RoundKeysDependOnKey)
+{
+    Rc6 a, b;
+    a.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    b.setKey(fromHex("100102030405060708090a0b0c0d0e0f"));
+    EXPECT_NE(a.roundKeys(), b.roundKeys());
+}
+
+TEST(Rc6, RejectsBadKeySize)
+{
+    Rc6 rc6;
+    EXPECT_THROW(rc6.setKey(fromHex("00")), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/** @file Known-answer and property tests for Rijndael (AES-128). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/rijndael.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+std::string
+aesEncrypt(const std::string &key_hex, const std::string &pt_hex)
+{
+    Rijndael aes;
+    aes.setKey(fromHex(key_hex));
+    auto pt = fromHex(pt_hex);
+    uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    return toHex(ct, 16);
+}
+
+// FIPS-197 Appendix C.1.
+TEST(Rijndael, KnownAnswerFips197)
+{
+    EXPECT_EQ(aesEncrypt("000102030405060708090a0b0c0d0e0f",
+                         "00112233445566778899aabbccddeeff"),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// All-zero key and block (AESAVS KAT).
+TEST(Rijndael, KnownAnswerZero)
+{
+    EXPECT_EQ(aesEncrypt("00000000000000000000000000000000",
+                         "00000000000000000000000000000000"),
+              "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+TEST(Rijndael, DecryptKnownAnswer)
+{
+    Rijndael aes;
+    aes.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    auto ct = fromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    uint8_t pt[16];
+    aes.decryptBlock(ct.data(), pt);
+    EXPECT_EQ(toHex(pt, 16), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Rijndael, Roundtrip)
+{
+    Rijndael aes;
+    aes.setKey(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Xorshift64 rng(55);
+    for (int i = 0; i < 100; i++) {
+        auto pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        aes.encryptBlock(pt.data(), ct);
+        aes.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 16), pt);
+    }
+}
+
+// The derived S-box must match its defining spot values.
+TEST(Rijndael, SboxSpotValues)
+{
+    const auto &s = Rijndael::sbox();
+    EXPECT_EQ(s[0x00], 0x63);
+    EXPECT_EQ(s[0x01], 0x7C);
+    EXPECT_EQ(s[0x53], 0xED);
+    EXPECT_EQ(s[0xFF], 0x16);
+}
+
+TEST(Rijndael, InvSboxInverts)
+{
+    const auto &s = Rijndael::sbox();
+    const auto &is = Rijndael::invSbox();
+    for (int x = 0; x < 256; x++) {
+        EXPECT_EQ(is[s[x]], x);
+        EXPECT_EQ(s[is[x]], x);
+    }
+}
+
+// Key expansion spot check: FIPS-197 A.1 (key 2b7e1516...).
+TEST(Rijndael, KeyExpansionFips197)
+{
+    Rijndael aes;
+    aes.setKey(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const auto &ek = aes.encKeys();
+    EXPECT_EQ(ek[0], 0x2b7e1516u);
+    EXPECT_EQ(ek[4], 0xa0fafe17u);
+    EXPECT_EQ(ek[5], 0x88542cb1u);
+    EXPECT_EQ(ek[43], 0xb6630ca6u);
+}
+
+// T-tables must reproduce the naive round function contribution.
+TEST(Rijndael, EncTablesAreRotationsOfEachOther)
+{
+    const auto &te = Rijndael::encTables();
+    for (int x = 0; x < 256; x++) {
+        uint32_t w = te[0][x];
+        for (int j = 1; j < 4; j++) {
+            uint32_t expect = (w >> (8 * j)) | (w << (32 - 8 * j));
+            EXPECT_EQ(te[j][x], expect);
+        }
+    }
+}
+
+TEST(Rijndael, RejectsBadKeySize)
+{
+    Rijndael aes;
+    EXPECT_THROW(aes.setKey(fromHex("00112233")), std::invalid_argument);
+}
+
+} // namespace

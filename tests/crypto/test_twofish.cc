@@ -1,0 +1,106 @@
+/** @file Known-answer and property tests for Twofish. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/twofish.hh"
+#include "util/hex.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::crypto;
+using cryptarch::util::fromHex;
+using cryptarch::util::toHex;
+using cryptarch::util::Xorshift64;
+
+std::string
+tfEncrypt(const std::string &key_hex, const std::string &pt_hex)
+{
+    Twofish tf;
+    tf.setKey(fromHex(key_hex));
+    auto pt = fromHex(pt_hex);
+    uint8_t ct[16];
+    tf.encryptBlock(pt.data(), ct);
+    return toHex(ct, 16);
+}
+
+// Twofish paper, 128-bit key iterated test: I=1.
+TEST(Twofish, KnownAnswerZero)
+{
+    EXPECT_EQ(tfEncrypt("00000000000000000000000000000000",
+                        "00000000000000000000000000000000"),
+              "9f589f5cf6122c32b6bfec2f2ae8c35a");
+}
+
+// Iterated table tests (ecb_tbl.txt chaining: KEY(i+1) = CT(i-1),
+// PT(i+1) = CT(i)). I=3 exercises a nonzero key and hence the h/g
+// key-word orderings.
+TEST(Twofish, KnownAnswerIterated)
+{
+    // I=2: zero key, PT = CT(1).
+    EXPECT_EQ(tfEncrypt("00000000000000000000000000000000",
+                        "9f589f5cf6122c32b6bfec2f2ae8c35a"),
+              "d491db16e7b1c39e86cb086b789f5419");
+    // I=3: KEY = CT(1), PT = CT(2).
+    EXPECT_EQ(tfEncrypt("9f589f5cf6122c32b6bfec2f2ae8c35a",
+                        "d491db16e7b1c39e86cb086b789f5419"),
+              "019f9809de1711858faac3a3ba20fbc3");
+}
+
+TEST(Twofish, Roundtrip)
+{
+    Twofish tf;
+    tf.setKey(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Xorshift64 rng(66);
+    for (int i = 0; i < 100; i++) {
+        auto pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        tf.encryptBlock(pt.data(), ct);
+        tf.decryptBlock(ct, back);
+        EXPECT_EQ(std::vector<uint8_t>(back, back + 16), pt);
+    }
+}
+
+// The q permutations must be bijective.
+TEST(Twofish, QTablesArePermutations)
+{
+    for (const auto *q : {&Twofish::q0(), &Twofish::q1()}) {
+        std::array<bool, 256> seen{};
+        for (uint8_t v : *q) {
+            EXPECT_FALSE(seen[v]);
+            seen[v] = true;
+        }
+    }
+}
+
+// Full-keying tables must reproduce g: the tables are XOR-separable by
+// construction, so membership of each byte lane is what we verify via
+// subkey-independent decompositions.
+TEST(Twofish, GTablesAreXorSeparable)
+{
+    Twofish tf;
+    tf.setKey(fromHex("0123456789abcdeffedcba9876543210"));
+    const auto &gt = tf.gTables();
+    // Each table's entry 0 contribution appears in every g value of a
+    // word with that byte lane zero; check consistency on a sample.
+    uint32_t g0 = gt[0][0] ^ gt[1][0] ^ gt[2][0] ^ gt[3][0];
+    uint32_t g1 = gt[0][0xAB] ^ gt[1][0] ^ gt[2][0] ^ gt[3][0];
+    EXPECT_EQ(g0 ^ g1, gt[0][0] ^ gt[0][0xAB]);
+}
+
+TEST(Twofish, SubkeysDependOnKey)
+{
+    Twofish a, b;
+    a.setKey(fromHex("00000000000000000000000000000000"));
+    b.setKey(fromHex("00000000000000000000000000000001"));
+    EXPECT_NE(a.subkeys(), b.subkeys());
+}
+
+TEST(Twofish, RejectsBadKeySize)
+{
+    Twofish tf;
+    EXPECT_THROW(tf.setKey(fromHex("00")), std::invalid_argument);
+}
+
+} // namespace

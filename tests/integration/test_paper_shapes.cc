@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Integration tests pinning the paper's headline claims, so the
+ * reproduction cannot silently regress. Small sessions keep them
+ * fast; the benches produce the full-figure numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.hh"
+#include "sim/pipeline.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using crypto::CipherId;
+using kernels::KernelVariant;
+using sim::MachineConfig;
+using util::Xorshift64;
+
+constexpr size_t session = 1024;
+
+sim::SimStats
+run(CipherId id, KernelVariant v, const MachineConfig &cfg,
+    size_t bytes = session)
+{
+    const auto &info = crypto::cipherInfo(id);
+    Xorshift64 rng(0xF00 + static_cast<int>(id));
+    auto key = rng.bytes(info.keyBits / 8);
+    auto iv = rng.bytes(info.isStream ? 0 : info.blockBytes);
+    auto build = kernels::buildKernel(id, v, key, iv, bytes);
+    isa::Machine m;
+    auto pt = rng.bytes(bytes);
+    build.install(m, kernels::toWordImage(id, pt));
+    sim::OooScheduler sched(cfg);
+    m.run(build.program, &sched, 1ull << 32);
+    return sched.finish();
+}
+
+// Figure 4: 3DES is the slowest cipher; RC4 is the fastest, by ~10x.
+TEST(PaperShapes, Fig4ThroughputOrdering)
+{
+    auto des = run(CipherId::TripleDES, KernelVariant::BaselineRot,
+                   MachineConfig::fourWide());
+    auto rc4 = run(CipherId::RC4, KernelVariant::BaselineRot,
+                   MachineConfig::fourWide());
+    double ratio = static_cast<double>(des.cycles) / rc4.cycles;
+    EXPECT_GT(ratio, 6.0);
+    for (auto id : {CipherId::Blowfish, CipherId::IDEA, CipherId::MARS,
+                    CipherId::RC6, CipherId::Rijndael,
+                    CipherId::Twofish}) {
+        auto s = run(id, KernelVariant::BaselineRot,
+                     MachineConfig::fourWide());
+        EXPECT_LT(s.cycles, des.cycles) << crypto::cipherInfo(id).name;
+        EXPECT_GT(s.cycles, rc4.cycles) << crypto::cipherInfo(id).name;
+    }
+}
+
+// Figure 4/5: Blowfish, IDEA and RC6 run near dataflow speed on 4W.
+TEST(PaperShapes, NearDataflowCiphers)
+{
+    for (auto id : {CipherId::Blowfish, CipherId::IDEA, CipherId::RC6}) {
+        auto w4 = run(id, KernelVariant::BaselineRot,
+                      MachineConfig::fourWide());
+        auto df = run(id, KernelVariant::BaselineRot,
+                      MachineConfig::dataflow());
+        EXPECT_LT(static_cast<double>(w4.cycles) / df.cycles, 1.25)
+            << crypto::cipherInfo(id).name;
+    }
+}
+
+// Figure 5: branch prediction is never a bottleneck; aliasing and
+// window size matter only for RC4.
+TEST(PaperShapes, Fig5BottleneckStory)
+{
+    for (auto id : {CipherId::TripleDES, CipherId::RC4,
+                    CipherId::Rijndael, CipherId::Twofish}) {
+        auto df = run(id, KernelVariant::BaselineRot,
+                      MachineConfig::dataflow());
+        auto branch = run(id, KernelVariant::BaselineRot,
+                          MachineConfig::dfPlusBranch());
+        EXPECT_LT(static_cast<double>(branch.cycles) / df.cycles, 1.05)
+            << crypto::cipherInfo(id).name;
+
+        auto alias = run(id, KernelVariant::BaselineRot,
+                         MachineConfig::dfPlusAlias());
+        double alias_cost = static_cast<double>(alias.cycles) / df.cycles;
+        if (id == CipherId::RC4)
+            EXPECT_GT(alias_cost, 1.5);
+        else
+            EXPECT_LT(alias_cost, 1.10)
+                << crypto::cipherInfo(id).name;
+    }
+}
+
+// Figure 10: the optimized kernels beat the rotate baseline on 4W for
+// every cipher, IDEA gains the most, RC6 the least.
+TEST(PaperShapes, Fig10SpeedupOrdering)
+{
+    double best = 0, worst = 10, idea_speedup = 0, rc6_speedup = 10;
+    for (const auto &info : crypto::cipherCatalog()) {
+        auto base = run(info.id, KernelVariant::BaselineRot,
+                        MachineConfig::fourWide());
+        auto opt = run(info.id, KernelVariant::Optimized,
+                       MachineConfig::fourWide());
+        double speedup = static_cast<double>(base.cycles) / opt.cycles;
+        EXPECT_GE(speedup, 0.99) << info.name;
+        best = std::max(best, speedup);
+        worst = std::min(worst, speedup);
+        if (info.id == CipherId::IDEA)
+            idea_speedup = speedup;
+        if (info.id == CipherId::RC6)
+            rc6_speedup = speedup;
+    }
+    EXPECT_EQ(best, idea_speedup) << "IDEA must gain the most (MULMOD)";
+    // RC6 gains modestly beyond rotates (the paper: "only slightly"
+    // from fast modular multiplication). In this reproduction its
+    // early-out multiply benefit puts it level with 3DES at the
+    // bottom rather than strictly last.
+    EXPECT_LT(rc6_speedup, 1.45) << "RC6 gains must stay modest";
+    EXPECT_GT(worst, 0.99);
+    EXPECT_GT(idea_speedup, 1.8);
+}
+
+// Figure 10, Orig/4W: losing rotates hurts Mars and RC6 the most.
+TEST(PaperShapes, RotateLossHurtsMarsAndRc6Most)
+{
+    double mars_slow = 0, rc6_slow = 0;
+    for (const auto &info : crypto::cipherCatalog()) {
+        auto rot = run(info.id, KernelVariant::BaselineRot,
+                       MachineConfig::fourWide());
+        auto norot = run(info.id, KernelVariant::BaselineNoRot,
+                         MachineConfig::fourWide());
+        double slowdown = static_cast<double>(norot.cycles) / rot.cycles;
+        if (info.id == CipherId::MARS)
+            mars_slow = slowdown;
+        else if (info.id == CipherId::RC6)
+            rc6_slow = slowdown;
+        else
+            EXPECT_LT(slowdown, 1.15) << info.name;
+    }
+    EXPECT_GT(mars_slow, 1.15);
+    EXPECT_GT(rc6_slow, 1.10);
+}
+
+// Section 6: Rijndael and Twofish saturate 4-wide issue; the 8-wide
+// machine unlocks them.
+TEST(PaperShapes, WideMachineUnlocksRijndael)
+{
+    auto w4p = run(CipherId::Rijndael, KernelVariant::Optimized,
+                   MachineConfig::fourWidePlus());
+    auto w8p = run(CipherId::Rijndael, KernelVariant::Optimized,
+                   MachineConfig::eightWidePlus());
+    EXPECT_GT(static_cast<double>(w4p.cycles) / w8p.cycles, 1.3);
+}
+
+// Figure 2 prerequisite: 3DES on a 1 GHz part cannot saturate a T3
+// line (~5.6 MB/s) with much headroom — the paper's motivating claim.
+TEST(PaperShapes, TripleDesBarelySaturatesT3)
+{
+    auto s = run(CipherId::TripleDES, KernelVariant::BaselineRot,
+                 MachineConfig::fourWide(), 4096);
+    double mbps_at_1ghz = 1e9 / (static_cast<double>(s.cycles) / 4096)
+        / 1e6;
+    EXPECT_LT(mbps_at_1ghz, 25.0); // nowhere near 100 Mb/s Ethernet x2
+    EXPECT_GT(mbps_at_1ghz, 5.0);  // but does cover a T3 (5.6 MB/s)
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/** @file Unit tests for the CryptISA assembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace
+{
+
+using namespace cryptarch::isa;
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels)
+{
+    Assembler a;
+    Reg r0{0};
+    a.label("top");        // index 0
+    a.addq(r0, 1, r0);     // 0
+    a.bne(r0, "exit");     // 1 -> 3
+    a.br("top");           // 2 -> 0
+    a.label("exit");
+    a.halt();              // 3
+    Program p = a.finalize();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[1].target, 3);
+    EXPECT_EQ(p[2].target, 0);
+}
+
+TEST(Assembler, ThrowsOnUndefinedLabel)
+{
+    Assembler a;
+    a.br("nowhere");
+    EXPECT_THROW(a.finalize(), std::runtime_error);
+}
+
+TEST(Assembler, ThrowsOnDuplicateLabel)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_THROW(a.label("x"), std::runtime_error);
+}
+
+TEST(Assembler, ImmediateFormsSetFlag)
+{
+    Assembler a;
+    Reg r1{1}, r2{2};
+    a.addq(r1, r2, r1);
+    a.addq(r1, 42, r1);
+    Program p = a.finalize();
+    EXPECT_FALSE(p[0].useImm);
+    EXPECT_TRUE(p[1].useImm);
+    EXPECT_EQ(p[1].imm, 42);
+}
+
+TEST(Assembler, SboxEncoding)
+{
+    Assembler a;
+    Reg table{5}, index{6}, dest{7};
+    a.sbox(2, 3, table, index, dest, true);
+    Program p = a.finalize();
+    EXPECT_EQ(p[0].op, Opcode::Sbox);
+    EXPECT_EQ(p[0].tableId, 2);
+    EXPECT_EQ(p[0].byteSel, 3);
+    EXPECT_TRUE(p[0].aliased);
+    EXPECT_EQ(opClass(p[0]), OpClass::Load); // aliased -> load
+    p.insts[0].aliased = false;
+    EXPECT_EQ(opClass(p[0]), OpClass::SboxRead);
+}
+
+TEST(Assembler, DisassemblyIsReadable)
+{
+    Assembler a;
+    Reg r1{1}, r2{2}, r3{3};
+    a.ldl(r1, r2, 16);
+    a.rol32(r1, 5, r3);
+    a.sbox(1, 2, r2, r1, r3);
+    a.halt();
+    Program p = a.finalize();
+    std::string text = p.disassemble();
+    EXPECT_NE(text.find("ldl r1, 16(r2)"), std::string::npos);
+    EXPECT_NE(text.find("rol32 r1, #5, r3"), std::string::npos);
+    EXPECT_NE(text.find("sbox.1.2 r2, r1, r3"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(RegPool, AllocatesDistinctRegisters)
+{
+    RegPool pool;
+    Reg a = pool.alloc();
+    Reg b = pool.alloc();
+    EXPECT_NE(a.n, b.n);
+    EXPECT_NE(a.n, reg_zero.n);
+}
+
+TEST(RegPool, ThrowsWhenExhausted)
+{
+    RegPool pool;
+    for (int i = 0; i < 63; i++)
+        pool.alloc();
+    EXPECT_THROW(pool.alloc(), std::runtime_error);
+}
+
+TEST(Inst, WritesDestClassification)
+{
+    Inst store;
+    store.op = Opcode::Stq;
+    store.rc = Reg{5};
+    EXPECT_FALSE(store.writesDest());
+
+    Inst add;
+    add.op = Opcode::Addq;
+    add.rc = Reg{5};
+    EXPECT_TRUE(add.writesDest());
+    add.rc = reg_zero;
+    EXPECT_FALSE(add.writesDest());
+}
+
+} // namespace

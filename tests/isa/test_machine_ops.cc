@@ -1,0 +1,200 @@
+/** @file Exhaustive per-opcode semantics tests for the interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "isa/machine.hh"
+#include "util/bitops.hh"
+#include "util/xorshift.hh"
+
+namespace
+{
+
+using namespace cryptarch::isa;
+using cryptarch::util::rotl64;
+using cryptarch::util::rotr32;
+using cryptarch::util::rotr64;
+using cryptarch::util::Xorshift64;
+
+constexpr Reg r0{0}, r1{1}, r2{2};
+
+/** Execute one ALU-style op with register operands. */
+uint64_t
+exec2(void (Assembler::*op)(Reg, Reg, Reg), uint64_t a, uint64_t b)
+{
+    Machine m;
+    m.setReg(r1, a);
+    m.setReg(r2, b);
+    Assembler as;
+    (as.*op)(r1, r2, r0);
+    as.halt();
+    m.run(as.finalize());
+    return m.reg(r0);
+}
+
+TEST(MachineOps, LogicalOps)
+{
+    EXPECT_EQ(exec2(&Assembler::and_, 0xF0F0, 0xFF00), 0xF000u);
+    EXPECT_EQ(exec2(&Assembler::bis, 0xF0F0, 0x0F0F), 0xFFFFu);
+    EXPECT_EQ(exec2(&Assembler::xor_, 0xF0F0, 0xFFFF), 0x0F0Fu);
+    EXPECT_EQ(exec2(&Assembler::bic, 0xFFFF, 0x00FF), 0xFF00u);
+    EXPECT_EQ(exec2(&Assembler::ornot, 0x1, 0xFFFFFFFFFFFFFFF0ull),
+              0xFull | 0x1);
+}
+
+TEST(MachineOps, Shifts64)
+{
+    EXPECT_EQ(exec2(&Assembler::sll, 1, 63), 1ull << 63);
+    EXPECT_EQ(exec2(&Assembler::srl, 1ull << 63, 63), 1u);
+    // Shift counts use the low 6 bits.
+    EXPECT_EQ(exec2(&Assembler::sll, 1, 64), 1u);
+}
+
+TEST(MachineOps, ArithmeticShiftRight)
+{
+    Machine m;
+    m.setReg(r1, 0xFFFFFFFFFFFFFF00ull); // -256
+    Assembler as;
+    as.sra(r1, 4, r0);
+    as.halt();
+    m.run(as.finalize());
+    EXPECT_EQ(static_cast<int64_t>(m.reg(r0)), -16);
+}
+
+TEST(MachineOps, Compares)
+{
+    EXPECT_EQ(exec2(&Assembler::cmpeq, 5, 5), 1u);
+    EXPECT_EQ(exec2(&Assembler::cmpeq, 5, 6), 0u);
+    EXPECT_EQ(exec2(&Assembler::cmpult, 5, 6), 1u);
+    EXPECT_EQ(exec2(&Assembler::cmpult, 6, 5), 0u);
+    // Unsigned vs signed: -1 is large unsigned.
+    EXPECT_EQ(exec2(&Assembler::cmpult, ~0ull, 1), 0u);
+    EXPECT_EQ(exec2(&Assembler::cmplt, ~0ull, 1), 1u);
+}
+
+TEST(MachineOps, Multiplies)
+{
+    EXPECT_EQ(exec2(&Assembler::mulq, 0xFFFFFFFFull, 0xFFFFFFFFull),
+              0xFFFFFFFE00000001ull);
+    // MULL keeps the low 32 bits, zero-extended.
+    EXPECT_EQ(exec2(&Assembler::mull, 0xFFFFFFFFull, 0xFFFFFFFFull),
+              0x00000001u);
+}
+
+TEST(MachineOps, Rotates64)
+{
+    Xorshift64 rng(5);
+    for (int i = 0; i < 30; i++) {
+        uint64_t v = rng.next();
+        uint64_t n = rng.next() % 64;
+        EXPECT_EQ(exec2(&Assembler::rol, v, n), rotl64(v, n));
+        EXPECT_EQ(exec2(&Assembler::ror, v, n), rotr64(v, n));
+    }
+}
+
+TEST(MachineOps, RorxAccumulates)
+{
+    Machine m;
+    m.setReg(r1, 0x2);
+    m.setReg(r0, 0xFF);
+    Assembler as;
+    as.rorx32(r1, 1, r0);
+    as.halt();
+    m.run(as.finalize());
+    EXPECT_EQ(m.reg(r0), (rotr32(0x2, 1) ^ 0xFF));
+}
+
+TEST(MachineOps, SignedBranches)
+{
+    // blt taken for negative, bge for non-negative.
+    for (int64_t v : {-5ll, 0ll, 5ll}) {
+        Machine m;
+        m.setReg(r1, static_cast<uint64_t>(v));
+        Assembler as;
+        as.li(0, r0);
+        as.blt(r1, "neg");
+        as.li(1, r0); // non-negative path
+        as.br("end");
+        as.label("neg");
+        as.li(2, r0);
+        as.label("end");
+        as.halt();
+        m.run(as.finalize());
+        EXPECT_EQ(m.reg(r0), v < 0 ? 2u : 1u) << v;
+
+        Machine m2;
+        m2.setReg(r1, static_cast<uint64_t>(v));
+        Assembler bs;
+        bs.li(0, r0);
+        bs.bge(r1, "pos");
+        bs.li(1, r0);
+        bs.br("end");
+        bs.label("pos");
+        bs.li(2, r0);
+        bs.label("end");
+        bs.halt();
+        m2.run(bs.finalize());
+        EXPECT_EQ(m2.reg(r0), v >= 0 ? 2u : 1u) << v;
+    }
+}
+
+TEST(MachineOps, StoreSizes)
+{
+    Machine m;
+    m.setReg(r1, 0x1000);
+    m.setReg(r2, 0x1122334455667788ull);
+    Assembler as;
+    as.stq(r2, r1, 0);
+    as.stl(r2, r1, 8);
+    as.stw(r2, r1, 16);
+    as.stb(r2, r1, 24);
+    as.halt();
+    m.run(as.finalize());
+    EXPECT_EQ(m.readMem(0x1000, 8),
+              (std::vector<uint8_t>{0x88, 0x77, 0x66, 0x55, 0x44, 0x33,
+                                    0x22, 0x11}));
+    EXPECT_EQ(m.readMem(0x1008, 4),
+              (std::vector<uint8_t>{0x88, 0x77, 0x66, 0x55}));
+    EXPECT_EQ(m.readMem(0x1010, 2), (std::vector<uint8_t>{0x88, 0x77}));
+    EXPECT_EQ(m.readMem(0x1018, 1), (std::vector<uint8_t>{0x88}));
+}
+
+TEST(MachineOps, CmovneTakesWhenNonzero)
+{
+    Machine m;
+    m.setReg(r1, 1);
+    m.setReg(r2, 42);
+    m.setReg(r0, 7);
+    Assembler as;
+    as.cmovne(r1, r2, r0);
+    as.halt();
+    m.run(as.finalize());
+    EXPECT_EQ(m.reg(r0), 42u);
+}
+
+TEST(MachineOps, ImmediateFormsMatchRegisterForms)
+{
+    Xorshift64 rng(6);
+    for (int i = 0; i < 20; i++) {
+        uint64_t a = rng.next();
+        int64_t imm = static_cast<int64_t>(rng.next() % 255);
+        Machine m1, m2;
+        m1.setReg(r1, a);
+        m2.setReg(r1, a);
+        m2.setReg(r2, static_cast<uint64_t>(imm));
+        Assembler as1, as2;
+        as1.addq(r1, imm, r0);
+        as1.halt();
+        as2.addq(r1, r2, r0);
+        as2.halt();
+        m1.run(as1.finalize());
+        m2.run(as2.finalize());
+        EXPECT_EQ(m1.reg(r0), m2.reg(r0));
+    }
+}
+
+TEST(MachineOps, S8addScales)
+{
+    EXPECT_EQ(exec2(&Assembler::s8add, 5, 100), 140u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/** @file Tests pinning the machine-model factories to paper Table 2. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+namespace
+{
+
+using namespace cryptarch::sim;
+
+TEST(Config, FourWideMatchesTable2)
+{
+    auto c = MachineConfig::fourWide();
+    EXPECT_EQ(c.fetchBlocksPerCycle, 1u);
+    EXPECT_EQ(c.windowSize, 128u);
+    EXPECT_EQ(c.issueWidth, 4u);
+    EXPECT_EQ(c.numIntAlu, 4u);
+    EXPECT_EQ(c.mulHalfSlots, 2u); // 1x64 or 2x32 or 2xMULMOD
+    EXPECT_EQ(c.numDCachePorts, 2u);
+    EXPECT_EQ(c.numSboxCaches, 0u);
+    EXPECT_EQ(c.numRotUnits, 2u);
+    EXPECT_FALSE(c.perfectBranch);
+    EXPECT_FALSE(c.perfectAlias);
+    EXPECT_FALSE(c.perfectMemory);
+    EXPECT_FALSE(c.perfectSbox);
+}
+
+TEST(Config, FourWidePlusAddsSboxCachesAndRotators)
+{
+    auto base = MachineConfig::fourWide();
+    auto plus = MachineConfig::fourWidePlus();
+    EXPECT_EQ(plus.numSboxCaches, 4u);
+    EXPECT_EQ(plus.sboxCachePorts, 1u);
+    EXPECT_EQ(plus.numRotUnits, 4u);
+    // Everything else matches the 4W model.
+    EXPECT_EQ(plus.issueWidth, base.issueWidth);
+    EXPECT_EQ(plus.windowSize, base.windowSize);
+    EXPECT_EQ(plus.numIntAlu, base.numIntAlu);
+    EXPECT_EQ(plus.numDCachePorts, base.numDCachePorts);
+}
+
+TEST(Config, EightWidePlusDoublesBandwidth)
+{
+    auto p = MachineConfig::fourWidePlus();
+    auto e = MachineConfig::eightWidePlus();
+    EXPECT_EQ(e.fetchBlocksPerCycle, 2 * p.fetchBlocksPerCycle);
+    EXPECT_EQ(e.issueWidth, 2 * p.issueWidth);
+    EXPECT_EQ(e.windowSize, 2 * p.windowSize);
+    EXPECT_EQ(e.numIntAlu, 2 * p.numIntAlu);
+    EXPECT_EQ(e.numRotUnits, 2 * p.numRotUnits);
+    EXPECT_EQ(e.mulHalfSlots, 2 * p.mulHalfSlots);
+    EXPECT_EQ(e.numDCachePorts, 2 * p.numDCachePorts);
+    EXPECT_EQ(e.sboxCachePorts, 2 * p.sboxCachePorts);
+    EXPECT_EQ(e.numSboxCaches, p.numSboxCaches); // same caches, dual port
+}
+
+TEST(Config, DataflowIsUnconstrained)
+{
+    auto df = MachineConfig::dataflow();
+    EXPECT_EQ(df.fetchBlocksPerCycle, unlimited);
+    EXPECT_EQ(df.fetchWidth, unlimited);
+    EXPECT_EQ(df.windowSize, unlimited);
+    EXPECT_EQ(df.issueWidth, unlimited);
+    EXPECT_EQ(df.numIntAlu, unlimited);
+    EXPECT_EQ(df.numRotUnits, unlimited);
+    EXPECT_EQ(df.mulHalfSlots, unlimited);
+    EXPECT_EQ(df.numDCachePorts, unlimited);
+    EXPECT_TRUE(df.perfectBranch);
+    EXPECT_TRUE(df.perfectAlias);
+    EXPECT_TRUE(df.perfectMemory);
+    EXPECT_TRUE(df.perfectSbox);
+    EXPECT_EQ(df.frontendDepth, 0u);
+}
+
+TEST(Config, IsolationModelsReinsertExactlyOneConstraint)
+{
+    auto df = MachineConfig::dataflow();
+
+    auto alias = MachineConfig::dfPlusAlias();
+    EXPECT_FALSE(alias.perfectAlias);
+    EXPECT_TRUE(alias.perfectBranch);
+    EXPECT_TRUE(alias.perfectMemory);
+    EXPECT_EQ(alias.issueWidth, df.issueWidth);
+
+    auto branch = MachineConfig::dfPlusBranch();
+    EXPECT_FALSE(branch.perfectBranch);
+    EXPECT_TRUE(branch.perfectAlias);
+
+    auto issue = MachineConfig::dfPlusIssue();
+    EXPECT_EQ(issue.issueWidth, 4u);
+    EXPECT_TRUE(issue.perfectAlias);
+    EXPECT_EQ(issue.numIntAlu, unlimited);
+
+    auto mem = MachineConfig::dfPlusMem();
+    EXPECT_FALSE(mem.perfectMemory);
+    EXPECT_TRUE(mem.perfectAlias);
+
+    auto res = MachineConfig::dfPlusResources();
+    EXPECT_EQ(res.numIntAlu, 4u);
+    EXPECT_EQ(res.numRotUnits, 2u);
+    EXPECT_EQ(res.numDCachePorts, 2u);
+    EXPECT_FALSE(res.perfectSbox);
+    EXPECT_EQ(res.issueWidth, unlimited);
+    EXPECT_EQ(res.windowSize, unlimited);
+
+    auto window = MachineConfig::dfPlusWindow();
+    EXPECT_EQ(window.windowSize, 128u);
+    EXPECT_EQ(window.issueWidth, unlimited);
+}
+
+TEST(Config, PaperLatencies)
+{
+    auto c = MachineConfig::fourWide();
+    EXPECT_EQ(c.aluLat, 1u);
+    EXPECT_EQ(c.mulLat64, 7u);
+    EXPECT_EQ(c.mulLat32, 4u);
+    EXPECT_EQ(c.mulmodLat, 4u);
+    EXPECT_EQ(c.rotLat, 1u);
+    EXPECT_EQ(c.sboxOnDcacheLat, 2u);
+    EXPECT_EQ(c.sboxCacheLat, 1u);
+    EXPECT_EQ(c.mispredictPenalty, 8u);
+    EXPECT_EQ(c.l2HitLat, 12u);
+    EXPECT_EQ(c.memLat, 120u);
+    EXPECT_EQ(c.dtlbMissLat, 30u);
+    EXPECT_EQ(c.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(c.l1d.assoc, 2u);
+    EXPECT_EQ(c.l1d.blockBytes, 32u);
+    EXPECT_EQ(c.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(c.l2.assoc, 4u);
+    EXPECT_EQ(c.dtlbEntries, 32u);
+    EXPECT_EQ(c.dtlbAssoc, 8u);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/** @file Tests for the RSA substrate. */
+
+#include <gtest/gtest.h>
+
+#include "ssl/rsa.hh"
+
+namespace
+{
+
+using namespace cryptarch::ssl;
+using cryptarch::util::BigInt;
+using cryptarch::util::Xorshift64;
+
+TEST(MillerRabin, KnownPrimes)
+{
+    Xorshift64 rng(1);
+    for (uint64_t p : {2ull, 3ull, 65537ull, 2147483647ull,
+                       1000000007ull, 1000000009ull}) {
+        EXPECT_TRUE(isProbablePrime(BigInt(p), rng)) << p;
+    }
+}
+
+TEST(MillerRabin, KnownComposites)
+{
+    Xorshift64 rng(2);
+    // Includes Carmichael numbers (561, 1105, 1729) and squares.
+    for (uint64_t c : {1ull, 4ull, 561ull, 1105ull, 1729ull, 65536ull,
+                       1000000011ull, 2147483647ull * 3}) {
+        EXPECT_FALSE(isProbablePrime(BigInt(c), rng)) << c;
+    }
+}
+
+TEST(GeneratePrime, HasRequestedSize)
+{
+    Xorshift64 rng(3);
+    for (unsigned bits : {64u, 96u, 128u}) {
+        BigInt p = generatePrime(bits, rng);
+        EXPECT_EQ(p.bitLength(), bits);
+        EXPECT_TRUE(p.isOdd());
+        EXPECT_TRUE(isProbablePrime(p, rng));
+    }
+}
+
+class RsaRoundtrip : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RsaRoundtrip, EncryptDecrypt)
+{
+    Xorshift64 rng(4 + GetParam());
+    RsaKey key = generateRsaKey(GetParam(), rng);
+    EXPECT_GE(key.n.bitLength(), GetParam() - 1);
+    for (int i = 0; i < 5; i++) {
+        BigInt m = BigInt::mod(BigInt::randomBits(GetParam() - 2, rng),
+                               key.n);
+        BigInt c = rsaPublic(m, key);
+        EXPECT_NE(c, m);
+        EXPECT_EQ(rsaPrivate(c, key), m);
+    }
+}
+
+TEST_P(RsaRoundtrip, CrtMatchesPlainExponentiation)
+{
+    Xorshift64 rng(40 + GetParam());
+    RsaKey key = generateRsaKey(GetParam(), rng);
+    for (int i = 0; i < 3; i++) {
+        BigInt c = BigInt::mod(BigInt::randomBits(GetParam(), rng),
+                               key.n);
+        EXPECT_EQ(rsaPrivate(c, key), rsaPrivateNoCrt(c, key));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaRoundtrip,
+                         ::testing::Values(256u, 384u, 512u));
+
+TEST(Rsa, CrtIsCheaperThanPlain)
+{
+    Xorshift64 rng(99);
+    RsaKey key = generateRsaKey(512, rng);
+    BigInt c = BigInt::mod(BigInt::randomBits(510, rng), key.n);
+    BigInt::resetMulOps();
+    (void)rsaPrivate(c, key);
+    uint64_t crt_ops = BigInt::mulOps();
+    BigInt::resetMulOps();
+    (void)rsaPrivateNoCrt(c, key);
+    uint64_t plain_ops = BigInt::mulOps();
+    // CRT does two half-size exponentiations: ~4x fewer multiplies.
+    EXPECT_LT(crt_ops * 2, plain_ops);
+}
+
+TEST(Rsa, RejectsOversizeMessages)
+{
+    Xorshift64 rng(7);
+    RsaKey key = generateRsaKey(256, rng);
+    EXPECT_THROW(rsaPublic(key.n, key), std::invalid_argument);
+    EXPECT_THROW(rsaPrivate(key.n, key), std::invalid_argument);
+}
+
+} // namespace

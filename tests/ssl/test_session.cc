@@ -1,0 +1,77 @@
+/** @file Tests for the SSL session cost model (Figure 2 shape). */
+
+#include <gtest/gtest.h>
+
+#include "ssl/session.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using ssl::SessionModel;
+using ssl::SessionModelParams;
+
+SessionModelParams
+fastParams()
+{
+    SessionModelParams p;
+    p.rsaBits = 512; // keep test-time key generation cheap
+    return p;
+}
+
+TEST(SessionModel, FractionsSumToOne)
+{
+    SessionModel model(crypto::CipherId::TripleDES, fastParams());
+    for (size_t bytes : {1024u, 4096u, 32768u}) {
+        auto c = model.cost(bytes);
+        EXPECT_NEAR(c.publicFraction() + c.privateFraction()
+                        + c.otherFraction(),
+                    1.0, 1e-9);
+        EXPECT_GT(c.publicKeyCycles, 0.0);
+        EXPECT_GT(c.privateKeyCycles, 0.0);
+        EXPECT_GT(c.otherCycles, 0.0);
+    }
+}
+
+TEST(SessionModel, PublicKeyDominatesShortSessions)
+{
+    // Figure 2: for very short sessions the handshake is the story.
+    SessionModel model(crypto::CipherId::TripleDES, fastParams());
+    auto c = model.cost(256);
+    EXPECT_GT(c.publicFraction(), c.privateFraction());
+}
+
+TEST(SessionModel, PrivateKeyShareGrowsWithLength)
+{
+    SessionModel model(crypto::CipherId::TripleDES, fastParams());
+    double prev = 0.0;
+    for (size_t bytes = 1024; bytes <= 128 * 1024; bytes *= 2) {
+        double frac = model.cost(bytes).privateFraction();
+        EXPECT_GT(frac, prev) << bytes;
+        prev = frac;
+    }
+    // By long sessions the symmetric cipher dominates the handshake.
+    EXPECT_GT(model.cost(128 * 1024).privateFraction(), 0.4);
+}
+
+TEST(SessionModel, PublicShareShrinksWithLength)
+{
+    SessionModel model(crypto::CipherId::TripleDES, fastParams());
+    double prev = 1.0;
+    for (size_t bytes = 1024; bytes <= 128 * 1024; bytes *= 2) {
+        double frac = model.cost(bytes).publicFraction();
+        EXPECT_LT(frac, prev) << bytes;
+        prev = frac;
+    }
+}
+
+TEST(SessionModel, FasterCipherLowersPrivateShare)
+{
+    SessionModel des(crypto::CipherId::TripleDES, fastParams());
+    SessionModel rc4(crypto::CipherId::RC4, fastParams());
+    EXPECT_LT(rc4.bulkCyclesPerByte(), des.bulkCyclesPerByte());
+    EXPECT_LT(rc4.cost(32768).privateFraction(),
+              des.cost(32768).privateFraction());
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/** @file Unit tests for util/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace
+{
+
+using namespace cryptarch::util;
+
+TEST(Bitops, Rotl32Basic)
+{
+    EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+    EXPECT_EQ(rotl32(0x12345678u, 0), 0x12345678u);
+    EXPECT_EQ(rotl32(0x12345678u, 32), 0x12345678u);
+    EXPECT_EQ(rotl32(0x12345678u, 8), 0x34567812u);
+}
+
+TEST(Bitops, Rotr32Basic)
+{
+    EXPECT_EQ(rotr32(1u, 1), 0x80000000u);
+    EXPECT_EQ(rotr32(0x12345678u, 0), 0x12345678u);
+    EXPECT_EQ(rotr32(0x12345678u, 32), 0x12345678u);
+    EXPECT_EQ(rotr32(0x12345678u, 8), 0x78123456u);
+}
+
+TEST(Bitops, Rot32Inverse)
+{
+    for (unsigned n = 0; n < 64; n++) {
+        uint32_t v = 0xDEADBEEF + n;
+        EXPECT_EQ(rotr32(rotl32(v, n), n), v) << "n=" << n;
+    }
+}
+
+TEST(Bitops, Rotl64Basic)
+{
+    EXPECT_EQ(rotl64(0x8000000000000000ull, 1), 1ull);
+    EXPECT_EQ(rotl64(0x0123456789ABCDEFull, 16), 0x456789ABCDEF0123ull);
+    EXPECT_EQ(rotl64(0x0123456789ABCDEFull, 64), 0x0123456789ABCDEFull);
+}
+
+TEST(Bitops, Rot64Inverse)
+{
+    for (unsigned n = 0; n < 128; n++) {
+        uint64_t v = 0xFEEDFACECAFEBEEFull + n;
+        EXPECT_EQ(rotr64(rotl64(v, n), n), v) << "n=" << n;
+    }
+}
+
+TEST(Bitops, ByteOf)
+{
+    EXPECT_EQ(byteOf(0x12345678u, 0), 0x78);
+    EXPECT_EQ(byteOf(0x12345678u, 1), 0x56);
+    EXPECT_EQ(byteOf(0x12345678u, 2), 0x34);
+    EXPECT_EQ(byteOf(0x12345678u, 3), 0x12);
+    // Index wraps modulo 4.
+    EXPECT_EQ(byteOf(0x12345678u, 4), 0x78);
+}
+
+TEST(Bitops, LittleEndianRoundtrip)
+{
+    uint8_t buf[4];
+    store32le(buf, 0xAABBCCDDu);
+    EXPECT_EQ(buf[0], 0xDD);
+    EXPECT_EQ(buf[3], 0xAA);
+    EXPECT_EQ(load32le(buf), 0xAABBCCDDu);
+}
+
+TEST(Bitops, BigEndianRoundtrip)
+{
+    uint8_t buf[8];
+    store32be(buf, 0xAABBCCDDu);
+    EXPECT_EQ(buf[0], 0xAA);
+    EXPECT_EQ(buf[3], 0xDD);
+    EXPECT_EQ(load32be(buf), 0xAABBCCDDu);
+
+    store64be(buf, 0x0102030405060708ull);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[7], 0x08);
+    EXPECT_EQ(load64be(buf), 0x0102030405060708ull);
+}
+
+} // namespace

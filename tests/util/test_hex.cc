@@ -1,0 +1,48 @@
+/** @file Unit tests for util/hex.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/hex.hh"
+
+namespace
+{
+
+using namespace cryptarch::util;
+
+TEST(Hex, EncodeBasic)
+{
+    EXPECT_EQ(toHex({}), "");
+    EXPECT_EQ(toHex({0x00}), "00");
+    EXPECT_EQ(toHex({0xDE, 0xAD, 0xBE, 0xEF}), "deadbeef");
+}
+
+TEST(Hex, DecodeBasic)
+{
+    EXPECT_EQ(fromHex(""), std::vector<uint8_t>{});
+    EXPECT_EQ(fromHex("deadbeef"),
+              (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+    EXPECT_EQ(fromHex("DEADBEEF"),
+              (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, DecodeIgnoresWhitespace)
+{
+    EXPECT_EQ(fromHex("de ad\tbe\nef"),
+              (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, DecodeRejectsBadInput)
+{
+    EXPECT_THROW(fromHex("xy"), std::invalid_argument);
+    EXPECT_THROW(fromHex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, Roundtrip)
+{
+    std::vector<uint8_t> data;
+    for (int i = 0; i < 256; i++)
+        data.push_back(static_cast<uint8_t>(i));
+    EXPECT_EQ(fromHex(toHex(data)), data);
+}
+
+} // namespace
