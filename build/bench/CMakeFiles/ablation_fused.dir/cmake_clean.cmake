@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fused.dir/ablation_fused.cc.o"
+  "CMakeFiles/ablation_fused.dir/ablation_fused.cc.o.d"
+  "ablation_fused"
+  "ablation_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

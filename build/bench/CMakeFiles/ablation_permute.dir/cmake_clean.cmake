@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_permute.dir/ablation_permute.cc.o"
+  "CMakeFiles/ablation_permute.dir/ablation_permute.cc.o.d"
+  "ablation_permute"
+  "ablation_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

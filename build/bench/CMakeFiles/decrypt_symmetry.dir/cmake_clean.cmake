@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decrypt_symmetry.dir/decrypt_symmetry.cc.o"
+  "CMakeFiles/decrypt_symmetry.dir/decrypt_symmetry.cc.o.d"
+  "decrypt_symmetry"
+  "decrypt_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decrypt_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

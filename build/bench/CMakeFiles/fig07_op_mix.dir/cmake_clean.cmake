@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_op_mix.dir/fig07_op_mix.cc.o"
+  "CMakeFiles/fig07_op_mix.dir/fig07_op_mix.cc.o.d"
+  "fig07_op_mix"
+  "fig07_op_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_op_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_speedup.cc" "bench/CMakeFiles/fig10_speedup.dir/fig10_speedup.cc.o" "gcc" "bench/CMakeFiles/fig10_speedup.dir/fig10_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssl/CMakeFiles/cryptarch_ssl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cryptarch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cryptarch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cryptarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptarch_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryptarch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_speedup.dir/fig10_speedup.cc.o"
+  "CMakeFiles/fig10_speedup.dir/fig10_speedup.cc.o.d"
+  "fig10_speedup"
+  "fig10_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_throughput.dir/native_throughput.cc.o"
+  "CMakeFiles/native_throughput.dir/native_throughput.cc.o.d"
+  "native_throughput"
+  "native_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

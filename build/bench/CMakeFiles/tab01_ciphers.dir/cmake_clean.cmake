@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_ciphers.dir/tab01_ciphers.cc.o"
+  "CMakeFiles/tab01_ciphers.dir/tab01_ciphers.cc.o.d"
+  "tab01_ciphers"
+  "tab01_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_view.dir/pipeline_view.cpp.o"
+  "CMakeFiles/pipeline_view.dir/pipeline_view.cpp.o.d"
+  "pipeline_view"
+  "pipeline_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/blowfish.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/blowfish.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/blowfish.cc.o.d"
+  "/root/repo/src/crypto/catalog.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/catalog.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/catalog.cc.o.d"
+  "/root/repo/src/crypto/cbc.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/cbc.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/cbc.cc.o.d"
+  "/root/repo/src/crypto/des.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/des.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/des.cc.o.d"
+  "/root/repo/src/crypto/idea.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/idea.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/idea.cc.o.d"
+  "/root/repo/src/crypto/mars.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/mars.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/mars.cc.o.d"
+  "/root/repo/src/crypto/modes.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/modes.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/modes.cc.o.d"
+  "/root/repo/src/crypto/rc4.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/rc4.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/rc4.cc.o.d"
+  "/root/repo/src/crypto/rc6.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/rc6.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/rc6.cc.o.d"
+  "/root/repo/src/crypto/rijndael.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/rijndael.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/rijndael.cc.o.d"
+  "/root/repo/src/crypto/twofish.cc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/twofish.cc.o" "gcc" "src/crypto/CMakeFiles/cryptarch_crypto.dir/twofish.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cryptarch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

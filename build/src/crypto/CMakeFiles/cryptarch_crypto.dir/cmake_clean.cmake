@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptarch_crypto.dir/blowfish.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/blowfish.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/catalog.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/catalog.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/cbc.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/cbc.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/des.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/des.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/idea.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/idea.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/mars.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/mars.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/modes.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/modes.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/rc4.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/rc4.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/rc6.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/rc6.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/rijndael.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/rijndael.cc.o.d"
+  "CMakeFiles/cryptarch_crypto.dir/twofish.cc.o"
+  "CMakeFiles/cryptarch_crypto.dir/twofish.cc.o.d"
+  "libcryptarch_crypto.a"
+  "libcryptarch_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptarch_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

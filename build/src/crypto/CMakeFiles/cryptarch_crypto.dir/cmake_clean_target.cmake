@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcryptarch_crypto.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptarch_isa.dir/inst.cc.o"
+  "CMakeFiles/cryptarch_isa.dir/inst.cc.o.d"
+  "CMakeFiles/cryptarch_isa.dir/machine.cc.o"
+  "CMakeFiles/cryptarch_isa.dir/machine.cc.o.d"
+  "CMakeFiles/cryptarch_isa.dir/program.cc.o"
+  "CMakeFiles/cryptarch_isa.dir/program.cc.o.d"
+  "libcryptarch_isa.a"
+  "libcryptarch_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptarch_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

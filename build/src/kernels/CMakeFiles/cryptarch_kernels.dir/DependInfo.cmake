@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blowfish_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/blowfish_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/blowfish_kernel.cc.o.d"
+  "/root/repo/src/kernels/des3_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/des3_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/des3_kernel.cc.o.d"
+  "/root/repo/src/kernels/emit.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/emit.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/emit.cc.o.d"
+  "/root/repo/src/kernels/idea_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/idea_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/idea_kernel.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/kernel.cc.o.d"
+  "/root/repo/src/kernels/mars_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/mars_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/mars_kernel.cc.o.d"
+  "/root/repo/src/kernels/rc4_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/rc4_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/rc4_kernel.cc.o.d"
+  "/root/repo/src/kernels/rc6_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/rc6_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/rc6_kernel.cc.o.d"
+  "/root/repo/src/kernels/rijndael_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/rijndael_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/rijndael_kernel.cc.o.d"
+  "/root/repo/src/kernels/twofish_kernel.cc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/twofish_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cryptarch_kernels.dir/twofish_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cryptarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptarch_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryptarch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptarch_kernels.dir/blowfish_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/blowfish_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/des3_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/des3_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/emit.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/emit.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/idea_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/idea_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/mars_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/mars_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/rc4_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/rc4_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/rc6_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/rc6_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/rijndael_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/rijndael_kernel.cc.o.d"
+  "CMakeFiles/cryptarch_kernels.dir/twofish_kernel.cc.o"
+  "CMakeFiles/cryptarch_kernels.dir/twofish_kernel.cc.o.d"
+  "libcryptarch_kernels.a"
+  "libcryptarch_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptarch_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

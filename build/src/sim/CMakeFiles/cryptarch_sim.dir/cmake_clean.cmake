@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptarch_sim.dir/branch_pred.cc.o"
+  "CMakeFiles/cryptarch_sim.dir/branch_pred.cc.o.d"
+  "CMakeFiles/cryptarch_sim.dir/cache.cc.o"
+  "CMakeFiles/cryptarch_sim.dir/cache.cc.o.d"
+  "CMakeFiles/cryptarch_sim.dir/config.cc.o"
+  "CMakeFiles/cryptarch_sim.dir/config.cc.o.d"
+  "CMakeFiles/cryptarch_sim.dir/pipeline.cc.o"
+  "CMakeFiles/cryptarch_sim.dir/pipeline.cc.o.d"
+  "libcryptarch_sim.a"
+  "libcryptarch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptarch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

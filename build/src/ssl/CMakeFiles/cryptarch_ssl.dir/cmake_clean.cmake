@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptarch_ssl.dir/rsa.cc.o"
+  "CMakeFiles/cryptarch_ssl.dir/rsa.cc.o.d"
+  "CMakeFiles/cryptarch_ssl.dir/session.cc.o"
+  "CMakeFiles/cryptarch_ssl.dir/session.cc.o.d"
+  "libcryptarch_ssl.a"
+  "libcryptarch_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptarch_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

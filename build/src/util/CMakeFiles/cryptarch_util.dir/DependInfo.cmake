@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bigint.cc" "src/util/CMakeFiles/cryptarch_util.dir/bigint.cc.o" "gcc" "src/util/CMakeFiles/cryptarch_util.dir/bigint.cc.o.d"
+  "/root/repo/src/util/hex.cc" "src/util/CMakeFiles/cryptarch_util.dir/hex.cc.o" "gcc" "src/util/CMakeFiles/cryptarch_util.dir/hex.cc.o.d"
+  "/root/repo/src/util/pi.cc" "src/util/CMakeFiles/cryptarch_util.dir/pi.cc.o" "gcc" "src/util/CMakeFiles/cryptarch_util.dir/pi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

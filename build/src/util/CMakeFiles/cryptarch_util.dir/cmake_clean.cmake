@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptarch_util.dir/bigint.cc.o"
+  "CMakeFiles/cryptarch_util.dir/bigint.cc.o.d"
+  "CMakeFiles/cryptarch_util.dir/hex.cc.o"
+  "CMakeFiles/cryptarch_util.dir/hex.cc.o.d"
+  "CMakeFiles/cryptarch_util.dir/pi.cc.o"
+  "CMakeFiles/cryptarch_util.dir/pi.cc.o.d"
+  "libcryptarch_util.a"
+  "libcryptarch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptarch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_blowfish.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_blowfish.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_blowfish.cc.o.d"
+  "/root/repo/tests/crypto/test_catalog.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_catalog.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_catalog.cc.o.d"
+  "/root/repo/tests/crypto/test_cbc.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_cbc.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_cbc.cc.o.d"
+  "/root/repo/tests/crypto/test_decrypt_kat.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_decrypt_kat.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_decrypt_kat.cc.o.d"
+  "/root/repo/tests/crypto/test_des.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_des.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_des.cc.o.d"
+  "/root/repo/tests/crypto/test_idea.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_idea.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_idea.cc.o.d"
+  "/root/repo/tests/crypto/test_mars.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_mars.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_mars.cc.o.d"
+  "/root/repo/tests/crypto/test_modes.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_modes.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_modes.cc.o.d"
+  "/root/repo/tests/crypto/test_properties.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_properties.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_properties.cc.o.d"
+  "/root/repo/tests/crypto/test_rc4.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_rc4.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_rc4.cc.o.d"
+  "/root/repo/tests/crypto/test_rc6.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_rc6.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_rc6.cc.o.d"
+  "/root/repo/tests/crypto/test_rijndael.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_rijndael.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_rijndael.cc.o.d"
+  "/root/repo/tests/crypto/test_twofish.cc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_twofish.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/crypto/test_twofish.cc.o.d"
+  "/root/repo/tests/integration/test_paper_shapes.cc" "tests/CMakeFiles/cryptarch_tests.dir/integration/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/integration/test_paper_shapes.cc.o.d"
+  "/root/repo/tests/isa/test_assembler.cc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_assembler.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_assembler.cc.o.d"
+  "/root/repo/tests/isa/test_grp.cc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_grp.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_grp.cc.o.d"
+  "/root/repo/tests/isa/test_machine.cc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_machine.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_machine.cc.o.d"
+  "/root/repo/tests/isa/test_machine_ops.cc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_machine_ops.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_machine_ops.cc.o.d"
+  "/root/repo/tests/isa/test_trace.cc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_trace.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/isa/test_trace.cc.o.d"
+  "/root/repo/tests/kernels/test_kernels.cc" "tests/CMakeFiles/cryptarch_tests.dir/kernels/test_kernels.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/kernels/test_kernels.cc.o.d"
+  "/root/repo/tests/kernels/test_setup_kernel.cc" "tests/CMakeFiles/cryptarch_tests.dir/kernels/test_setup_kernel.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/kernels/test_setup_kernel.cc.o.d"
+  "/root/repo/tests/kernels/test_structure.cc" "tests/CMakeFiles/cryptarch_tests.dir/kernels/test_structure.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/kernels/test_structure.cc.o.d"
+  "/root/repo/tests/sim/test_cache.cc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_cache.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_cache.cc.o.d"
+  "/root/repo/tests/sim/test_config.cc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_config.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_config.cc.o.d"
+  "/root/repo/tests/sim/test_pipeline.cc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_pipeline.cc.o.d"
+  "/root/repo/tests/sim/test_predictor.cc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_predictor.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_predictor.cc.o.d"
+  "/root/repo/tests/sim/test_timeline.cc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_timeline.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/sim/test_timeline.cc.o.d"
+  "/root/repo/tests/ssl/test_rsa.cc" "tests/CMakeFiles/cryptarch_tests.dir/ssl/test_rsa.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/ssl/test_rsa.cc.o.d"
+  "/root/repo/tests/ssl/test_session.cc" "tests/CMakeFiles/cryptarch_tests.dir/ssl/test_session.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/ssl/test_session.cc.o.d"
+  "/root/repo/tests/util/test_bigint.cc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_bigint.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_bigint.cc.o.d"
+  "/root/repo/tests/util/test_bitops.cc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_bitops.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_bitops.cc.o.d"
+  "/root/repo/tests/util/test_hex.cc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_hex.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_hex.cc.o.d"
+  "/root/repo/tests/util/test_pi.cc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_pi.cc.o" "gcc" "tests/CMakeFiles/cryptarch_tests.dir/util/test_pi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssl/CMakeFiles/cryptarch_ssl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cryptarch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cryptarch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cryptarch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptarch_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryptarch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
