@@ -9,6 +9,10 @@
  * combining candidate for the substitution ciphers; this bench
  * measures what it would buy, i.e. the performance a cryptographic
  * processor designer would weigh against the port cost.
+ *
+ * Runs through the bench driver: one functional pass per (cipher,
+ * variant) — the dynamic instruction counts come from the recorded
+ * traces, not separate counting runs. Stats: BENCH_ablation_fused.json.
  */
 
 #include <cstdio>
@@ -23,6 +27,17 @@ main()
     using kernels::KernelVariant;
     using sim::MachineConfig;
 
+    const crypto::CipherId ids[] = {
+        crypto::CipherId::Blowfish, crypto::CipherId::Rijndael,
+        crypto::CipherId::Twofish, crypto::CipherId::TripleDES};
+
+    driver::SweepSpec spec;
+    spec.ciphers = {ids, ids + 4};
+    spec.variants = {KernelVariant::Optimized,
+                     KernelVariant::OptimizedFused};
+    spec.models = {MachineConfig::fourWidePlus()};
+    auto results = driver::runSweep(spec);
+
     std::printf("Ablation: fused substitute-and-XOR (SBOXX, 3 register "
                 "reads)\nvs the paper's 2-read SBOX + XOR "
                 "(4KB session).\n\n");
@@ -33,25 +48,27 @@ main()
                 "----------------------------------------------------"
                 "--------------------------------");
 
-    for (auto id : {crypto::CipherId::Blowfish, crypto::CipherId::Rijndael,
-                    crypto::CipherId::Twofish,
-                    crypto::CipherId::TripleDES}) {
+    for (auto id : ids) {
         const auto &info = crypto::cipherInfo(id);
-        uint64_t oi = countInsts(id, KernelVariant::Optimized);
-        uint64_t fi = countInsts(id, KernelVariant::OptimizedFused);
-        auto oc = timeKernel(id, KernelVariant::Optimized,
-                             MachineConfig::fourWidePlus());
-        auto fc = timeKernel(id, KernelVariant::OptimizedFused,
-                             MachineConfig::fourWidePlus());
+        const auto &opt = driver::findResult(
+            results, id, KernelVariant::Optimized, "4W+");
+        const auto &fused = driver::findResult(
+            results, id, KernelVariant::OptimizedFused, "4W+");
+        uint64_t oi = opt.stats.instructions;
+        uint64_t fi = fused.stats.instructions;
         std::printf("%-10s %12llu %12llu %9.1f%% %12llu %12llu %9.2fx\n",
                     info.name.c_str(),
                     static_cast<unsigned long long>(oi),
                     static_cast<unsigned long long>(fi),
                     100.0 * (1.0 - static_cast<double>(fi) / oi),
-                    static_cast<unsigned long long>(oc.cycles),
-                    static_cast<unsigned long long>(fc.cycles),
-                    static_cast<double>(oc.cycles) / fc.cycles);
+                    static_cast<unsigned long long>(opt.stats.cycles),
+                    static_cast<unsigned long long>(fused.stats.cycles),
+                    static_cast<double>(opt.stats.cycles)
+                        / fused.stats.cycles);
     }
+
+    driver::writeBenchJson("BENCH_ablation_fused.json", "ablation_fused",
+                           results);
     std::printf(
         "\n(Static savings are real — 10-28%% fewer instructions — but "
         "the cycle\nimpact splits by bottleneck: issue-bound Rijndael "

@@ -8,6 +8,9 @@
  * XBOX's partial permutations are independent and OR-reduce. The
  * paper predicts a small end-to-end difference since 3DES only
  * permutes at block entry/exit; this bench quantifies it.
+ *
+ * Runs through the bench driver (one functional pass per variant);
+ * stats: BENCH_ablation_permute.json.
  */
 
 #include <cstdio>
@@ -33,6 +36,13 @@ main()
         {"GRP  (Shi & Lee)", KernelVariant::OptimizedGrp},
     };
 
+    driver::SweepSpec spec;
+    spec.ciphers = {id};
+    spec.variants = {KernelVariant::BaselineRot, KernelVariant::Optimized,
+                     KernelVariant::OptimizedGrp};
+    spec.models = {MachineConfig::fourWide()};
+    auto results = driver::runSweep(spec);
+
     std::printf("Ablation: 3DES permutation strategy "
                 "(4KB session, 4W machine).\n\n");
     std::printf("%-26s %12s %12s %12s\n", "Strategy", "static insts",
@@ -41,19 +51,24 @@ main()
                 "----------------------------------------------------"
                 "--------------");
     for (const auto &row : rows) {
+        // Static program size comes from the kernel builder (cheap; no
+        // functional interpretation involved).
         Workload w = makeWorkload(id);
         auto build = kernels::buildKernel(id, row.variant, w.key, w.iv,
                                           session_bytes);
-        auto stats = timeKernel(id, row.variant,
-                                MachineConfig::fourWide());
+        const auto &r = driver::findResult(results, id, row.variant, "4W");
         std::printf("%-26s %12zu %12llu %12.2f\n", row.label,
                     build.program.size(),
-                    static_cast<unsigned long long>(stats.cycles),
-                    bytesPerKiloCycle(stats.cycles));
+                    static_cast<unsigned long long>(r.stats.cycles),
+                    bytesPerKiloCycle(r.stats.cycles, r.bytes));
     }
+
+    driver::writeBenchJson("BENCH_ablation_permute.json",
+                           "ablation_permute", results);
     std::printf("\n(GRP: 6 chained steps per 64-bit permutation vs "
                 "XBOX's 8 parallel\npartials + OR tree; both run once "
                 "per block, so throughput differences\nstay small — "
-                "the paper's expectation.)\n");
+                "the paper's expectation. Stats: "
+                "BENCH_ablation_permute.json.)\n");
     return 0;
 }

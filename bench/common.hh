@@ -4,7 +4,12 @@
  *
  * Every bench uses the same deterministic key/IV/plaintext material
  * (seeded xorshift) and the paper's 4 KB session length unless a
- * figure calls for a sweep.
+ * figure calls for a sweep. Workload generation and kernel timing live
+ * in the driver library (src/driver/); the helpers here are thin
+ * wrappers kept for the single-model call sites. Grid-shaped benches
+ * use driver::runSweep / driver::runCells directly so every kernel is
+ * functionally interpreted once no matter how many timing models it
+ * feeds.
  */
 
 #ifndef CRYPTARCH_BENCH_COMMON_HH
@@ -15,49 +20,36 @@
 #include <vector>
 
 #include "crypto/cipher.hh"
+#include "driver/grids.hh"
+#include "driver/json.hh"
+#include "driver/sweep.hh"
+#include "driver/trace.hh"
+#include "driver/workload.hh"
 #include "kernels/kernel.hh"
 #include "sim/pipeline.hh"
-#include "util/xorshift.hh"
 
 namespace cryptarch::bench
 {
 
 /** The paper's standard session length (section 4.2). */
-constexpr size_t session_bytes = 4096;
+using driver::session_bytes;
 
 /** Deterministic key material for a cipher. */
-struct Workload
-{
-    std::vector<uint8_t> key;
-    std::vector<uint8_t> iv;
-    std::vector<uint8_t> plaintext;
-};
+using driver::Workload;
+using driver::makeWorkload;
 
-inline Workload
-makeWorkload(crypto::CipherId id, size_t bytes = session_bytes,
-             uint64_t seed = 0xBE7CB)
-{
-    const auto &info = crypto::cipherInfo(id);
-    util::Xorshift64 rng(seed + static_cast<uint64_t>(id));
-    Workload w;
-    w.key = rng.bytes(info.keyBits / 8);
-    w.iv = rng.bytes(info.isStream ? 0 : info.blockBytes);
-    w.plaintext = rng.bytes(bytes);
-    return w;
-}
-
-/** Build a kernel, run it functionally, and time it on @p cfg. */
+/**
+ * Build a kernel, run it functionally, and time it on @p cfg.
+ *
+ * One functional interpretation per call: call sites that sweep many
+ * models over the same kernel should record once and replay instead
+ * (driver::recordKernelTrace / driver::runSweep).
+ */
 inline sim::SimStats
 timeKernel(crypto::CipherId id, kernels::KernelVariant variant,
            const sim::MachineConfig &cfg, size_t bytes = session_bytes)
 {
-    Workload w = makeWorkload(id, bytes);
-    auto build = kernels::buildKernel(id, variant, w.key, w.iv, bytes);
-    isa::Machine m;
-    build.install(m, kernels::toWordImage(id, w.plaintext));
-    sim::OooScheduler sched(cfg);
-    m.run(build.program, &sched, 1ull << 32);
-    return sched.finish();
+    return driver::recordKernelTrace(id, variant, bytes).replay(cfg);
 }
 
 /** Dynamic instruction count of a kernel run (the 1-CPI machine). */
@@ -65,16 +57,17 @@ inline uint64_t
 countInsts(crypto::CipherId id, kernels::KernelVariant variant,
            size_t bytes = session_bytes)
 {
-    Workload w = makeWorkload(id, bytes);
-    auto build = kernels::buildKernel(id, variant, w.key, w.iv, bytes);
-    isa::Machine m;
-    build.install(m, kernels::toWordImage(id, w.plaintext));
-    return m.run(build.program, nullptr, 1ull << 32).instructions;
+    return driver::recordKernelTrace(id, variant, bytes).instructions();
 }
 
-/** bytes encrypted per 1000 cycles (the paper's Figure 4 metric). */
+/**
+ * bytes encrypted per 1000 cycles (the paper's Figure 4 metric). The
+ * byte count is a required argument: a sweep that varies session
+ * length must pass the length it actually simulated, so the metric can
+ * never silently divide by the default 4 KB session.
+ */
 inline double
-bytesPerKiloCycle(uint64_t cycles, size_t bytes = session_bytes)
+bytesPerKiloCycle(uint64_t cycles, size_t bytes)
 {
     return 1000.0 * static_cast<double>(bytes)
         / static_cast<double>(cycles);
@@ -84,10 +77,7 @@ bytesPerKiloCycle(uint64_t cycles, size_t bytes = session_bytes)
 inline std::vector<crypto::CipherId>
 allCiphers()
 {
-    std::vector<crypto::CipherId> ids;
-    for (const auto &info : crypto::cipherCatalog())
-        ids.push_back(info.id);
-    return ids;
+    return driver::allCiphers();
 }
 
 } // namespace cryptarch::bench

@@ -4,14 +4,19 @@
  * per 1000 cycles for
  *
  *   IPB        the 1-CPI machine (pure dynamic instruction count)
- *   21264-cls  the 4W model standing in for the measured 600 MHz
- *              Alpha 21264 (the paper validated the two agree within
- *              10-15%; we have no Alpha hardware — see DESIGN.md 2.2)
+ *   21264-cls  a 21264-parameterized 4-wide core standing in for the
+ *              measured 600 MHz Alpha 21264 (the paper validated its
+ *              simulator against real hardware within 10-15%; we have
+ *              no Alpha hardware — see DESIGN.md 2.2 and
+ *              sim::MachineConfig::alpha21264())
  *   4W         the baseline 4-wide out-of-order model
  *   DF         the dataflow upper bound
  *
  * Kernels are the BaselineRot variants (original code with rotate
- * instructions) over a 4 KB CBC session.
+ * instructions) over a 4 KB CBC session. The whole grid runs through
+ * the bench driver: each cipher is functionally interpreted once and
+ * the recorded trace replays into all three timing models in parallel.
+ * The full per-model SimStats land in BENCH_fig04.json.
  *
  * Paper shape: 3DES slowest (~7 B/kcycle on 4W), RC4 fastest (~88,
  * >10x 3DES), Rijndael leads the AES candidates (~49); Blowfish, IDEA
@@ -29,6 +34,9 @@ main()
     using namespace cryptarch;
     using namespace cryptarch::bench;
 
+    auto variant = kernels::KernelVariant::BaselineRot;
+    auto results = driver::runSweep(driver::fig04Spec());
+
     std::printf("Figure 4. Cipher Encryption Performance "
                 "(bytes/1000 cycles, 4KB session).\n\n");
     std::printf("%-10s %10s %12s %10s %10s %8s\n", "Cipher", "1-CPI",
@@ -39,19 +47,21 @@ main()
 
     for (auto id : allCiphers()) {
         const auto &info = crypto::cipherInfo(id);
-        auto variant = kernels::KernelVariant::BaselineRot;
-        uint64_t insts = countInsts(id, variant);
-        auto w4 = timeKernel(id, variant, sim::MachineConfig::fourWide());
-        auto df = timeKernel(id, variant, sim::MachineConfig::dataflow());
+        const auto &a21 = driver::findResult(results, id, variant, "21264");
+        const auto &w4 = driver::findResult(results, id, variant, "4W");
+        const auto &df = driver::findResult(results, id, variant, "DF");
         std::printf("%-10s %10.2f %12.2f %10.2f %10.2f %8.2f\n",
-                    info.name.c_str(), bytesPerKiloCycle(insts),
-                    bytesPerKiloCycle(w4.cycles),
-                    bytesPerKiloCycle(w4.cycles),
-                    bytesPerKiloCycle(df.cycles), w4.ipc());
+                    info.name.c_str(),
+                    bytesPerKiloCycle(w4.stats.instructions, session_bytes),
+                    bytesPerKiloCycle(a21.stats.cycles, session_bytes),
+                    bytesPerKiloCycle(w4.stats.cycles, session_bytes),
+                    bytesPerKiloCycle(df.stats.cycles, session_bytes),
+                    w4.stats.ipc());
     }
 
+    driver::writeBenchJson("BENCH_fig04.json", "fig04", results);
     std::printf("\n(On a 1 GHz part the same numbers read as MB/s; the "
                 "paper's 3DES\nobservation: too slow to saturate a "
-                "T3 line.)\n");
+                "T3 line. Full per-model stats:\nBENCH_fig04.json.)\n");
     return 0;
 }

@@ -8,6 +8,10 @@
  * plus "All" (the full 4W model). Bars are performance relative to
  * the dataflow machine (1.00 = dataflow speed).
  *
+ * One functional pass per cipher: the recorded trace replays into all
+ * eight models (DF + 7) in parallel via the bench driver. Per-model
+ * SimStats: BENCH_fig05.json.
+ *
  * Paper shape: branch prediction and memory never matter; window and
  * alias only matter for RC4; issue width and resources are the common
  * bottlenecks, largest for Rijndael and RC4.
@@ -24,14 +28,24 @@ main()
     using namespace cryptarch::bench;
     using sim::MachineConfig;
 
-    const MachineConfig isolations[] = {
-        MachineConfig::dfPlusAlias(),  MachineConfig::dfPlusBranch(),
-        MachineConfig::dfPlusIssue(),  MachineConfig::dfPlusMem(),
-        MachineConfig::dfPlusResources(),
-        MachineConfig::dfPlusWindow(), MachineConfig::fourWide(),
-    };
+    auto variant = kernels::KernelVariant::BaselineRot;
     const char *labels[] = {"Alias", "Branch", "Issue", "Mem",
                             "Res",   "Window", "All"};
+    const char *models[] = {"DF+Alias", "DF+Branch", "DF+Issue",
+                            "DF+Mem",   "DF+Res",    "DF+Window", "4W"};
+
+    driver::SweepSpec spec;
+    spec.ciphers = allCiphers();
+    spec.variants = {variant};
+    spec.models = {MachineConfig::dataflow(),
+                   MachineConfig::dfPlusAlias(),
+                   MachineConfig::dfPlusBranch(),
+                   MachineConfig::dfPlusIssue(),
+                   MachineConfig::dfPlusMem(),
+                   MachineConfig::dfPlusResources(),
+                   MachineConfig::dfPlusWindow(),
+                   MachineConfig::fourWide()};
+    auto results = driver::runSweep(spec);
 
     std::printf("Figure 5. Analysis of Bottlenecks in Cipher Kernels\n"
                 "(performance relative to the dataflow machine; "
@@ -43,19 +57,21 @@ main()
                 "----------------------------------------------------"
                 "--------------");
 
-    for (auto id : bench::allCiphers()) {
+    for (auto id : allCiphers()) {
         const auto &info = crypto::cipherInfo(id);
-        auto variant = kernels::KernelVariant::BaselineRot;
-        auto df = timeKernel(id, variant, MachineConfig::dataflow());
+        const auto &df = driver::findResult(results, id, variant, "DF");
         std::printf("%-10s", info.name.c_str());
-        for (const auto &cfg : isolations) {
-            auto s = timeKernel(id, variant, cfg);
-            std::printf("%8.2f", static_cast<double>(df.cycles)
-                                     / static_cast<double>(s.cycles));
+        for (const char *model : models) {
+            const auto &s = driver::findResult(results, id, variant, model);
+            std::printf("%8.2f", static_cast<double>(df.stats.cycles)
+                                     / static_cast<double>(s.stats.cycles));
         }
         std::printf("\n");
     }
+
+    driver::writeBenchJson("BENCH_fig05.json", "fig05", results);
     std::printf("\n(1.00 = dataflow speed; lower = that bottleneck "
-                "alone costs performance.)\n");
+                "alone costs performance.\nPer-model stats: "
+                "BENCH_fig05.json.)\n");
     return 0;
 }

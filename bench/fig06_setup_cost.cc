@@ -44,8 +44,11 @@ main()
         uint64_t setup_insts = info.isStream
             ? crypto::makeStreamCipher(id)->setupOpEstimate()
             : crypto::makeBlockCipher(id)->setupOpEstimate();
+        // The probe's session length and the per-byte divisor must
+        // agree: both are spelled explicitly.
         auto probe = timeKernel(id, kernels::KernelVariant::BaselineRot,
-                                sim::MachineConfig::fourWide());
+                                sim::MachineConfig::fourWide(),
+                                session_bytes);
         double cycles_per_byte =
             static_cast<double>(probe.cycles) / session_bytes;
         double setup_cycles =
@@ -76,7 +79,8 @@ main()
 
         auto probe = timeKernel(crypto::CipherId::Blowfish,
                                 kernels::KernelVariant::BaselineRot,
-                                sim::MachineConfig::fourWide());
+                                sim::MachineConfig::fourWide(),
+                                session_bytes);
         double cpb = static_cast<double>(probe.cycles) / session_bytes;
         std::printf("\nBlowfish setup kernel, measured: %llu cycles "
                     "(%llu insts) —\n",

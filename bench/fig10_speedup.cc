@@ -15,6 +15,10 @@
  *   Opt/4W+   plus SBox caches and extra rotator/XBOX units
  *   Opt/8W+   double execution bandwidth
  *   Opt/DF    dataflow upper bound for the optimized code
+ *
+ * The grid runs through the bench driver: three functional passes per
+ * cipher (one per kernel variant), each trace replayed into every
+ * model in parallel. Per-model SimStats: BENCH_fig10.json.
  */
 
 #include <cmath>
@@ -28,7 +32,8 @@ main()
     using namespace cryptarch;
     using namespace cryptarch::bench;
     using kernels::KernelVariant;
-    using sim::MachineConfig;
+
+    auto results = driver::runCells(driver::fig10Cells());
 
     std::printf("Figure 10. Relative Performance of the Optimized "
                 "Kernels\n(speedup vs original-with-rotates on 4W, "
@@ -43,24 +48,21 @@ main()
     int n = 0;
     for (auto id : allCiphers()) {
         const auto &info = crypto::cipherInfo(id);
-        auto base = timeKernel(id, KernelVariant::BaselineRot,
-                               MachineConfig::fourWide());
-        auto orig = timeKernel(id, KernelVariant::BaselineNoRot,
-                               MachineConfig::fourWide());
-        auto opt4 = timeKernel(id, KernelVariant::Optimized,
-                               MachineConfig::fourWide());
-        auto opt4p = timeKernel(id, KernelVariant::Optimized,
-                                MachineConfig::fourWidePlus());
-        auto opt8 = timeKernel(id, KernelVariant::Optimized,
-                               MachineConfig::eightWidePlus());
-        auto optdf = timeKernel(id, KernelVariant::Optimized,
-                                MachineConfig::dataflow());
-        double b = static_cast<double>(base.cycles);
+        auto cycles = [&](KernelVariant v, const char *model) {
+            return static_cast<double>(
+                driver::findResult(results, id, v, model).stats.cycles);
+        };
+        double b = cycles(KernelVariant::BaselineRot, "4W");
+        double orig = cycles(KernelVariant::BaselineNoRot, "4W");
+        double opt4 = cycles(KernelVariant::Optimized, "4W");
+        double opt4p = cycles(KernelVariant::Optimized, "4W+");
+        double opt8 = cycles(KernelVariant::Optimized, "8W+");
+        double optdf = cycles(KernelVariant::Optimized, "DF");
         std::printf("%-10s %9.2f %9.2f %9.2f %9.2f %9.2f\n",
-                    info.name.c_str(), b / orig.cycles, b / opt4.cycles,
-                    b / opt4p.cycles, b / opt8.cycles, b / optdf.cycles);
-        prod_opt4 *= b / opt4.cycles;
-        prod_orig *= b / orig.cycles;
+                    info.name.c_str(), b / orig, b / opt4, b / opt4p,
+                    b / opt8, b / optdf);
+        prod_opt4 *= b / opt4;
+        prod_orig *= b / orig;
         n++;
     }
     double gm_opt4 = std::pow(prod_opt4, 1.0 / n);
@@ -69,9 +71,11 @@ main()
                 "----------------------------------------------------"
                 "----------");
     std::printf("%-10s %9.2f %9.2f\n", "geomean", gm_orig, gm_opt4);
+
+    driver::writeBenchJson("BENCH_fig10.json", "fig10", results);
     std::printf("\nOpt/4W mean speedup over rotate baseline: %+.0f%%; "
                 "over rotate-less\nbaseline: %+.0f%% (paper: +59%% and "
-                "+74%%).\n",
+                "+74%%). Full per-model stats:\nBENCH_fig10.json.\n",
                 100.0 * (gm_opt4 - 1.0),
                 100.0 * (gm_opt4 / gm_orig - 1.0));
     return 0;

@@ -1,0 +1,52 @@
+#include "driver/grids.hh"
+
+namespace cryptarch::driver
+{
+
+using kernels::KernelVariant;
+using sim::MachineConfig;
+
+SweepSpec
+fig04Spec()
+{
+    SweepSpec spec;
+    spec.ciphers = allCiphers();
+    spec.variants = {KernelVariant::BaselineRot};
+    spec.models = {MachineConfig::alpha21264(), MachineConfig::fourWide(),
+                   MachineConfig::dataflow()};
+    return spec;
+}
+
+std::vector<SweepCell>
+fig10Cells()
+{
+    const MachineConfig w4 = MachineConfig::fourWide();
+    std::vector<SweepCell> cells;
+    for (auto id : allCiphers()) {
+        cells.push_back({id, KernelVariant::BaselineRot, w4, session_bytes});
+        cells.push_back(
+            {id, KernelVariant::BaselineNoRot, w4, session_bytes});
+        cells.push_back({id, KernelVariant::Optimized, w4, session_bytes});
+        cells.push_back({id, KernelVariant::Optimized,
+                         MachineConfig::fourWidePlus(), session_bytes});
+        cells.push_back({id, KernelVariant::Optimized,
+                         MachineConfig::eightWidePlus(), session_bytes});
+        cells.push_back({id, KernelVariant::Optimized,
+                         MachineConfig::dataflow(), session_bytes});
+    }
+    return cells;
+}
+
+SweepSpec
+tab02Spec()
+{
+    SweepSpec spec;
+    spec.ciphers = allCiphers();
+    spec.variants = {KernelVariant::Optimized};
+    spec.models = {MachineConfig::fourWide(), MachineConfig::fourWidePlus(),
+                   MachineConfig::eightWidePlus(),
+                   MachineConfig::dataflow()};
+    return spec;
+}
+
+} // namespace cryptarch::driver

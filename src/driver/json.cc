@@ -1,0 +1,96 @@
+#include "driver/json.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cryptarch::driver
+{
+
+namespace
+{
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+cacheJson(std::ostringstream &os, const char *name,
+          const sim::CacheStats &c)
+{
+    os << "\"" << name << "\": {\"accesses\": " << c.accesses
+       << ", \"misses\": " << c.misses << "}";
+}
+
+} // namespace
+
+std::string
+toJson(const sim::SimStats &stats)
+{
+    std::ostringstream os;
+    os << "{\"instructions\": " << stats.instructions
+       << ", \"cycles\": " << stats.cycles << ", \"ipc\": " << stats.ipc()
+       << ", \"cond_branches\": " << stats.condBranches
+       << ", \"mispredicts\": " << stats.mispredicts
+       << ", \"loads\": " << stats.loads << ", \"stores\": " << stats.stores
+       << ", \"sbox_accesses\": " << stats.sboxAccesses
+       << ", \"sbox_cache_hits\": " << stats.sboxCacheHits
+       << ", \"class_counts\": [";
+    for (size_t i = 0; i < stats.classCounts.size(); i++)
+        os << (i ? ", " : "") << stats.classCounts[i];
+    os << "], ";
+    cacheJson(os, "l1", stats.l1);
+    os << ", ";
+    cacheJson(os, "l2", stats.l2);
+    os << ", ";
+    cacheJson(os, "tlb", stats.tlb);
+    os << "}";
+    return os.str();
+}
+
+void
+writeBenchJson(const std::string &path, std::string_view bench,
+               const std::vector<SweepResult> &results)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+
+    out << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
+        << "  \"schema\": 1,\n  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); i++) {
+        const auto &r = results[i];
+        out << "    {\"cipher\": \""
+            << escape(crypto::cipherInfo(r.cipher).name) << "\", \"variant\": \""
+            << escape(kernels::variantName(r.variant)) << "\", \"model\": \""
+            << escape(r.model) << "\", \"session_bytes\": " << r.bytes
+            << ",\n     \"stats\": " << toJson(r.stats) << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out.flush())
+        throw std::runtime_error("failed writing " + path);
+}
+
+} // namespace cryptarch::driver

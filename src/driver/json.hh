@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-readable bench results (BENCH_*.json).
+ *
+ * Every migrated bench emits its full sweep next to the paper-formatted
+ * text table, so regenerated figures are diffable and downstream
+ * tooling never has to scrape printf output. Schema (version 1):
+ *
+ *   {
+ *     "bench": "<figure/table id>",
+ *     "schema": 1,
+ *     "results": [
+ *       {
+ *         "cipher": "RC4",
+ *         "variant": "BaselineRot",
+ *         "model": "4W",
+ *         "session_bytes": 4096,
+ *         "stats": {
+ *           "instructions": N, "cycles": N, "ipc": x,
+ *           "cond_branches": N, "mispredicts": N,
+ *           "loads": N, "stores": N,
+ *           "sbox_accesses": N, "sbox_cache_hits": N,
+ *           "class_counts": [N x 11],
+ *           "l1":  {"accesses": N, "misses": N},
+ *           "l2":  {"accesses": N, "misses": N},
+ *           "tlb": {"accesses": N, "misses": N}
+ *         }
+ *       }, ...
+ *     ]
+ *   }
+ */
+
+#ifndef CRYPTARCH_DRIVER_JSON_HH
+#define CRYPTARCH_DRIVER_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/sweep.hh"
+
+namespace cryptarch::driver
+{
+
+/** Serialize one SimStats as a JSON object (single line, no newline). */
+std::string toJson(const sim::SimStats &stats);
+
+/**
+ * Write the schema above to @p path (conventionally
+ * "BENCH_<bench>.json" in the working directory). Throws
+ * std::runtime_error when the file cannot be written.
+ */
+void writeBenchJson(const std::string &path, std::string_view bench,
+                    const std::vector<SweepResult> &results);
+
+} // namespace cryptarch::driver
+
+#endif // CRYPTARCH_DRIVER_JSON_HH

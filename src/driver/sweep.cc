@@ -1,0 +1,126 @@
+#include "driver/sweep.hh"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+namespace cryptarch::driver
+{
+
+namespace
+{
+
+/** Cells sharing a kernel share one lazily recorded trace. */
+struct TraceGroup
+{
+    std::once_flag once;
+    RecordedTrace trace;
+};
+
+using GroupKey = std::tuple<crypto::CipherId, kernels::KernelVariant, size_t>;
+
+GroupKey
+keyOf(const SweepCell &cell)
+{
+    return {cell.cipher, cell.variant, cell.bytes};
+}
+
+} // namespace
+
+std::vector<SweepResult>
+runCells(const std::vector<SweepCell> &cells, unsigned threads)
+{
+    std::vector<SweepResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    // Group table is fully built before workers start; workers only
+    // race on each group's once_flag.
+    std::map<GroupKey, std::unique_ptr<TraceGroup>> groups;
+    for (const auto &cell : cells) {
+        auto &slot = groups[keyOf(cell)];
+        if (!slot)
+            slot = std::make_unique<TraceGroup>();
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cells.size())
+                return;
+            const SweepCell &cell = cells[i];
+            try {
+                TraceGroup &group = *groups.at(keyOf(cell));
+                std::call_once(group.once, [&]() {
+                    group.trace = recordKernelTrace(cell.cipher,
+                                                    cell.variant,
+                                                    cell.bytes);
+                });
+                SweepResult r;
+                r.cipher = cell.cipher;
+                r.variant = cell.variant;
+                r.model = cell.model.name;
+                r.bytes = cell.bytes;
+                r.stats = group.trace.replay(cell.model);
+                results[i] = std::move(r);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    unsigned n = threads ? threads : std::thread::hardware_concurrency();
+    n = std::max(1u, std::min<unsigned>(n, cells.size()));
+
+    std::vector<std::thread> pool;
+    pool.reserve(n - 1);
+    for (unsigned t = 0; t + 1 < n; t++)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+std::vector<SweepResult>
+runSweep(const SweepSpec &spec)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(spec.ciphers.size() * spec.variants.size()
+                  * spec.models.size());
+    for (auto cipher : spec.ciphers)
+        for (auto variant : spec.variants)
+            for (const auto &model : spec.models)
+                cells.push_back({cipher, variant, model, spec.bytes});
+    return runCells(cells, spec.threads);
+}
+
+const SweepResult &
+findResult(const std::vector<SweepResult> &results, crypto::CipherId cipher,
+           kernels::KernelVariant variant, std::string_view model)
+{
+    for (const auto &r : results)
+        if (r.cipher == cipher && r.variant == variant && r.model == model)
+            return r;
+    throw std::out_of_range("sweep: no result for ("
+                            + crypto::cipherInfo(cipher).name + ", "
+                            + kernels::variantName(variant) + ", "
+                            + std::string(model) + ")");
+}
+
+} // namespace cryptarch::driver

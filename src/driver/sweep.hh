@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parallel (cipher x variant x model) sweep runner.
+ *
+ * A sweep is a list of cells; cells sharing a (cipher, variant, bytes)
+ * kernel are grouped so the kernel is functionally interpreted exactly
+ * once (recorded via RecordedTrace), then each cell replays the group's
+ * trace into its own OooScheduler. Cells execute on a thread pool;
+ * results are collected into a vector ordered exactly like the input
+ * cells, so output is deterministic regardless of thread count or
+ * scheduling.
+ */
+
+#ifndef CRYPTARCH_DRIVER_SWEEP_HH
+#define CRYPTARCH_DRIVER_SWEEP_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/trace.hh"
+#include "sim/config.hh"
+
+namespace cryptarch::driver
+{
+
+/** One point of the sweep grid. */
+struct SweepCell
+{
+    crypto::CipherId cipher{};
+    kernels::KernelVariant variant{};
+    sim::MachineConfig model;
+    size_t bytes = session_bytes;
+};
+
+/** Timing result of one cell, tagged with its coordinates. */
+struct SweepResult
+{
+    crypto::CipherId cipher{};
+    kernels::KernelVariant variant{};
+    std::string model;
+    size_t bytes = session_bytes;
+    sim::SimStats stats;
+};
+
+/** A dense grid: every cipher x every variant x every model. */
+struct SweepSpec
+{
+    std::vector<crypto::CipherId> ciphers;
+    std::vector<kernels::KernelVariant> variants;
+    std::vector<sim::MachineConfig> models;
+    size_t bytes = session_bytes;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+};
+
+/**
+ * Execute @p cells in parallel on @p threads workers (0 = hardware
+ * concurrency). Returns one result per cell, in cell order. Each
+ * distinct (cipher, variant, bytes) kernel is functionally interpreted
+ * exactly once across the whole call.
+ */
+std::vector<SweepResult> runCells(const std::vector<SweepCell> &cells,
+                                  unsigned threads = 0);
+
+/**
+ * Execute the dense grid of @p spec. Results are ordered cipher-major,
+ * then variant, then model: index = (ci * #variants + vi) * #models + mi.
+ */
+std::vector<SweepResult> runSweep(const SweepSpec &spec);
+
+/**
+ * First result matching (cipher, variant, model name). Throws
+ * std::out_of_range when the sweep has no such cell.
+ */
+const SweepResult &findResult(const std::vector<SweepResult> &results,
+                              crypto::CipherId cipher,
+                              kernels::KernelVariant variant,
+                              std::string_view model);
+
+} // namespace cryptarch::driver
+
+#endif // CRYPTARCH_DRIVER_SWEEP_HH

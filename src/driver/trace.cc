@@ -1,0 +1,50 @@
+#include "driver/trace.hh"
+
+#include <atomic>
+
+namespace cryptarch::driver
+{
+
+namespace
+{
+
+std::atomic<uint64_t> functional_runs{0};
+
+} // namespace
+
+void
+RecordedTrace::replay(isa::TraceSink &sink) const
+{
+    for (const auto &inst : insts)
+        sink.emit(inst);
+}
+
+sim::SimStats
+RecordedTrace::replay(const sim::MachineConfig &cfg) const
+{
+    sim::OooScheduler sched(cfg);
+    replay(static_cast<isa::TraceSink &>(sched));
+    return sched.finish();
+}
+
+RecordedTrace
+recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
+                  size_t bytes)
+{
+    Workload w = makeWorkload(cipher, bytes);
+    auto build = kernels::buildKernel(cipher, variant, w.key, w.iv, bytes);
+    isa::Machine m;
+    build.install(m, kernels::toWordImage(cipher, w.plaintext));
+    RecordedTrace trace;
+    m.run(build.program, &trace, 1ull << 32);
+    functional_runs.fetch_add(1, std::memory_order_relaxed);
+    return trace;
+}
+
+uint64_t
+functionalRuns()
+{
+    return functional_runs.load(std::memory_order_relaxed);
+}
+
+} // namespace cryptarch::driver

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Record-once / replay-many dynamic kernel traces.
+ *
+ * The functional Machine is deterministic, so the dynamic instruction
+ * stream of a (cipher, variant, session) triple is a pure function of
+ * its inputs — it does not depend on the timing model observing it.
+ * RecordedTrace captures that stream through the ordinary
+ * isa::TraceSink interface and can replay it into any number of
+ * sim::OooScheduler instances, which is how the sweep runner turns a
+ * (cipher x variant x model) grid into one functional interpretation
+ * per kernel instead of one per timing model — the record/replay
+ * structure SimpleScalar-style studies exploit.
+ */
+
+#ifndef CRYPTARCH_DRIVER_TRACE_HH
+#define CRYPTARCH_DRIVER_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/workload.hh"
+#include "isa/machine.hh"
+#include "kernels/kernel.hh"
+#include "sim/pipeline.hh"
+
+namespace cryptarch::driver
+{
+
+/** A captured dynamic instruction stream. */
+class RecordedTrace : public isa::TraceSink
+{
+  public:
+    void
+    emit(const isa::DynInst &inst) override
+    {
+        insts.push_back(inst);
+    }
+
+    /** Feed the captured stream, in order, into any sink. */
+    void replay(isa::TraceSink &sink) const;
+
+    /** Replay into a fresh OooScheduler for @p cfg; returns its stats. */
+    sim::SimStats replay(const sim::MachineConfig &cfg) const;
+
+    /** Dynamic instruction count (the 1-CPI machine's cycle count). */
+    uint64_t instructions() const { return insts.size(); }
+
+    bool empty() const { return insts.empty(); }
+
+    const std::vector<isa::DynInst> &stream() const { return insts; }
+
+  private:
+    std::vector<isa::DynInst> insts;
+};
+
+/**
+ * Build the (cipher, variant) kernel over the standard deterministic
+ * workload for @p bytes, run it functionally exactly once, and capture
+ * the trace. Increments functionalRuns().
+ */
+RecordedTrace recordKernelTrace(crypto::CipherId cipher,
+                                kernels::KernelVariant variant,
+                                size_t bytes = session_bytes);
+
+/**
+ * Process-wide count of functional Machine interpretations performed
+ * through the driver — the instrumentation the driver tests use to
+ * prove a sweep interprets each kernel exactly once, no matter how
+ * many timing models it feeds.
+ */
+uint64_t functionalRuns();
+
+} // namespace cryptarch::driver
+
+#endif // CRYPTARCH_DRIVER_TRACE_HH

@@ -1,0 +1,29 @@
+#include "driver/workload.hh"
+
+#include "util/xorshift.hh"
+
+namespace cryptarch::driver
+{
+
+Workload
+makeWorkload(crypto::CipherId id, size_t bytes, uint64_t seed)
+{
+    const auto &info = crypto::cipherInfo(id);
+    util::Xorshift64 rng(seed + static_cast<uint64_t>(id));
+    Workload w;
+    w.key = rng.bytes(info.keyBits / 8);
+    w.iv = rng.bytes(info.isStream ? 0 : info.blockBytes);
+    w.plaintext = rng.bytes(bytes);
+    return w;
+}
+
+std::vector<crypto::CipherId>
+allCiphers()
+{
+    std::vector<crypto::CipherId> ids;
+    for (const auto &info : crypto::cipherCatalog())
+        ids.push_back(info.id);
+    return ids;
+}
+
+} // namespace cryptarch::driver

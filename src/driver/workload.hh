@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic bench workload material (keys, IVs, plaintext).
+ *
+ * Moved out of bench/common.hh so the driver library and the legacy
+ * bench helpers generate byte-identical sessions: a trace the sweep
+ * runner records is a trace of exactly the workload the single-model
+ * helpers time.
+ */
+
+#ifndef CRYPTARCH_DRIVER_WORKLOAD_HH
+#define CRYPTARCH_DRIVER_WORKLOAD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/cipher.hh"
+
+namespace cryptarch::driver
+{
+
+/** The paper's standard session length (section 4.2). */
+constexpr size_t session_bytes = 4096;
+
+/** Deterministic key material for a cipher. */
+struct Workload
+{
+    std::vector<uint8_t> key;
+    std::vector<uint8_t> iv;
+    std::vector<uint8_t> plaintext;
+};
+
+/**
+ * Key/IV/plaintext for @p id, seeded per cipher so every bench and
+ * test sees the same session for the same (cipher, bytes) pair.
+ */
+Workload makeWorkload(crypto::CipherId id, size_t bytes = session_bytes,
+                      uint64_t seed = 0xBE7CB);
+
+/** All eight cipher ids in Table 1 order. */
+std::vector<crypto::CipherId> allCiphers();
+
+} // namespace cryptarch::driver
+
+#endif // CRYPTARCH_DRIVER_WORKLOAD_HH

@@ -12,6 +12,18 @@ MachineConfig::fourWide()
 }
 
 MachineConfig
+MachineConfig::alpha21264()
+{
+    MachineConfig c;
+    c.name = "21264";
+    c.windowSize = 80;
+    c.predictorEntries = 4096;
+    c.mispredictPenalty = 7;
+    c.l1d = {64 * 1024, 2, 64};
+    return c;
+}
+
+MachineConfig
 MachineConfig::fourWidePlus()
 {
     MachineConfig c;

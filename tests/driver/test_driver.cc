@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Bench driver tests: the parallel sweep runner interprets each
+ * (cipher, variant) kernel functionally exactly once per run — for
+ * exactly the grids the figure benches execute — collects results in
+ * deterministic order regardless of thread count, and emits the
+ * BENCH_*.json schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "driver/grids.hh"
+#include "driver/json.hh"
+#include "driver/sweep.hh"
+#include "driver/trace.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using driver::SweepCell;
+using driver::SweepResult;
+using driver::SweepSpec;
+using kernels::KernelVariant;
+using sim::MachineConfig;
+
+/** Distinct (cipher, variant, bytes) kernels in a cell list. */
+size_t
+kernelCount(const std::vector<SweepCell> &cells)
+{
+    std::set<std::tuple<crypto::CipherId, KernelVariant, size_t>> keys;
+    for (const auto &c : cells)
+        keys.insert({c.cipher, c.variant, c.bytes});
+    return keys.size();
+}
+
+std::vector<SweepCell>
+gridCells(const SweepSpec &spec)
+{
+    std::vector<SweepCell> cells;
+    for (auto cipher : spec.ciphers)
+        for (auto variant : spec.variants)
+            for (const auto &model : spec.models)
+                cells.push_back({cipher, variant, model, spec.bytes});
+    return cells;
+}
+
+TEST(Driver, Fig04GridInterpretsEachKernelOnce)
+{
+    auto spec = driver::fig04Spec();
+    uint64_t before = driver::functionalRuns();
+    auto results = driver::runSweep(spec);
+    uint64_t runs = driver::functionalRuns() - before;
+    // One functional pass per (cipher, variant) — not per model.
+    EXPECT_EQ(runs, spec.ciphers.size() * spec.variants.size());
+    EXPECT_EQ(results.size(), spec.ciphers.size() * spec.variants.size()
+                                  * spec.models.size());
+
+    // The Figure 4 "21264-class" column is a real configuration, not a
+    // reprint of the 4W column: the two must disagree somewhere.
+    bool differs = false;
+    for (auto id : spec.ciphers) {
+        const auto &a21 = driver::findResult(
+            results, id, KernelVariant::BaselineRot, "21264");
+        const auto &w4 = driver::findResult(
+            results, id, KernelVariant::BaselineRot, "4W");
+        EXPECT_EQ(a21.stats.instructions, w4.stats.instructions);
+        if (a21.stats.cycles != w4.stats.cycles)
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Driver, Fig10GridInterpretsEachKernelOnce)
+{
+    auto cells = driver::fig10Cells();
+    uint64_t before = driver::functionalRuns();
+    auto results = driver::runCells(cells);
+    uint64_t runs = driver::functionalRuns() - before;
+    EXPECT_EQ(runs, kernelCount(cells));
+    EXPECT_EQ(results.size(), cells.size());
+}
+
+TEST(Driver, Tab02GridInterpretsEachKernelOnce)
+{
+    auto spec = driver::tab02Spec();
+    uint64_t before = driver::functionalRuns();
+    auto results = driver::runSweep(spec);
+    uint64_t runs = driver::functionalRuns() - before;
+    EXPECT_EQ(runs, spec.ciphers.size() * spec.variants.size());
+    EXPECT_EQ(results.size(), spec.ciphers.size() * spec.variants.size()
+                                  * spec.models.size());
+}
+
+TEST(Driver, ResultsAreOrderedAndThreadCountInvariant)
+{
+    SweepSpec spec;
+    spec.ciphers = {crypto::CipherId::RC4, crypto::CipherId::Blowfish};
+    spec.variants = {KernelVariant::BaselineRot};
+    spec.models = {MachineConfig::fourWide(), MachineConfig::dataflow()};
+
+    spec.threads = 1;
+    auto serial = driver::runSweep(spec);
+    spec.threads = 8;
+    auto parallel = driver::runSweep(spec);
+
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(parallel.size(), serial.size());
+
+    // Grid order: cipher-major, then variant, then model.
+    auto cells = gridCells(spec);
+    for (size_t i = 0; i < serial.size(); i++) {
+        EXPECT_EQ(serial[i].cipher, cells[i].cipher);
+        EXPECT_EQ(serial[i].variant, cells[i].variant);
+        EXPECT_EQ(serial[i].model, cells[i].model.name);
+    }
+
+    // Bit-identical stats no matter how many workers ran the sweep.
+    for (size_t i = 0; i < serial.size(); i++) {
+        EXPECT_EQ(serial[i].model, parallel[i].model);
+        EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles);
+        EXPECT_EQ(serial[i].stats.instructions,
+                  parallel[i].stats.instructions);
+        EXPECT_EQ(serial[i].stats.mispredicts,
+                  parallel[i].stats.mispredicts);
+        EXPECT_EQ(serial[i].stats.l1.misses, parallel[i].stats.l1.misses);
+    }
+}
+
+TEST(Driver, FindResultThrowsOnMissingCell)
+{
+    std::vector<SweepResult> results;
+    EXPECT_THROW(driver::findResult(results, crypto::CipherId::RC4,
+                                    KernelVariant::BaselineRot, "4W"),
+                 std::out_of_range);
+}
+
+TEST(Driver, JsonEmitterWritesSchema)
+{
+    SweepSpec spec;
+    spec.ciphers = {crypto::CipherId::RC4};
+    spec.variants = {KernelVariant::BaselineRot};
+    spec.models = {MachineConfig::fourWide()};
+    auto results = driver::runSweep(spec);
+
+    std::string path = ::testing::TempDir() + "BENCH_test.json";
+    driver::writeBenchJson(path, "test", results);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string json = buf.str();
+
+    EXPECT_NE(json.find("\"bench\": \"test\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"cipher\": \"RC4\""), std::string::npos);
+    EXPECT_NE(json.find("\"model\": \"4W\""), std::string::npos);
+    EXPECT_NE(json.find("\"session_bytes\": 4096"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\": "), std::string::npos);
+    EXPECT_NE(json.find("\"mispredicts\": "), std::string::npos);
+    EXPECT_NE(json.find("\"l1\": {\"accesses\": "), std::string::npos);
+
+    // The emitted cycles match the sweep's stats.
+    std::ostringstream expect;
+    expect << "\"cycles\": " << results[0].stats.cycles;
+    EXPECT_NE(json.find(expect.str()), std::string::npos);
+}
+
+TEST(Driver, MixedSessionLengthsKeySeparateTraces)
+{
+    // Cells that differ only in session length must NOT share a trace:
+    // two kernels, two functional passes, different dynamic lengths.
+    std::vector<SweepCell> cells = {
+        {crypto::CipherId::RC4, KernelVariant::BaselineRot,
+         MachineConfig::fourWide(), 1024},
+        {crypto::CipherId::RC4, KernelVariant::BaselineRot,
+         MachineConfig::fourWide(), 2048},
+    };
+    uint64_t before = driver::functionalRuns();
+    auto results = driver::runCells(cells);
+    EXPECT_EQ(driver::functionalRuns() - before, 2u);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_LT(results[0].stats.instructions, results[1].stats.instructions);
+    EXPECT_EQ(results[0].bytes, 1024u);
+    EXPECT_EQ(results[1].bytes, 2048u);
+}
+
+} // namespace

@@ -223,9 +223,10 @@ TEST(KernelStructure, SboxTablesAreFrameAligned)
         if (!uses_sbox)
             continue;
         for (const auto &[addr, bytes] : b.memInit) {
-            if (addr >= 0x1000 && addr < 0x8000) // table region
+            if (addr >= 0x1000 && addr < 0x8000) { // table region
                 EXPECT_EQ(addr % 1024, 0u)
                     << crypto::cipherInfo(id).name;
+            }
         }
     }
 }

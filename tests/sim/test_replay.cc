@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Golden determinism of trace record/replay: replaying a RecordedTrace
+ * into an OooScheduler must yield bit-identical SimStats to attaching
+ * the scheduler live to Machine::run. This is the property the whole
+ * bench driver rests on — a recorded trace IS the functional
+ * execution, so a model sweep may replay it any number of times.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "driver/trace.hh"
+#include "driver/workload.hh"
+#include "kernels/kernel.hh"
+#include "sim/pipeline.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using kernels::KernelVariant;
+using sim::MachineConfig;
+using sim::SimStats;
+
+SimStats
+liveStats(crypto::CipherId id, KernelVariant variant,
+          const MachineConfig &cfg)
+{
+    driver::Workload w = driver::makeWorkload(id);
+    auto build = kernels::buildKernel(id, variant, w.key, w.iv,
+                                      driver::session_bytes);
+    isa::Machine m;
+    build.install(m, kernels::toWordImage(id, w.plaintext));
+    sim::OooScheduler sched(cfg);
+    m.run(build.program, &sched, 1ull << 32);
+    return sched.finish();
+}
+
+void
+expectStatsEqual(const SimStats &live, const SimStats &replayed)
+{
+    EXPECT_EQ(live.instructions, replayed.instructions);
+    EXPECT_EQ(live.cycles, replayed.cycles);
+    EXPECT_EQ(live.condBranches, replayed.condBranches);
+    EXPECT_EQ(live.mispredicts, replayed.mispredicts);
+    EXPECT_EQ(live.loads, replayed.loads);
+    EXPECT_EQ(live.stores, replayed.stores);
+    EXPECT_EQ(live.sboxAccesses, replayed.sboxAccesses);
+    EXPECT_EQ(live.sboxCacheHits, replayed.sboxCacheHits);
+    EXPECT_EQ(live.l1.accesses, replayed.l1.accesses);
+    EXPECT_EQ(live.l1.misses, replayed.l1.misses);
+    EXPECT_EQ(live.l2.accesses, replayed.l2.accesses);
+    EXPECT_EQ(live.l2.misses, replayed.l2.misses);
+    EXPECT_EQ(live.tlb.accesses, replayed.tlb.accesses);
+    EXPECT_EQ(live.tlb.misses, replayed.tlb.misses);
+    for (size_t i = 0; i < live.classCounts.size(); i++)
+        EXPECT_EQ(live.classCounts[i], replayed.classCounts[i])
+            << "class " << i;
+}
+
+struct ReplayCase
+{
+    crypto::CipherId cipher;
+    KernelVariant variant;
+    MachineConfig model;
+};
+
+class ReplayDeterminism : public ::testing::TestWithParam<ReplayCase>
+{
+};
+
+TEST_P(ReplayDeterminism, ReplayMatchesLiveSimulation)
+{
+    const auto &[id, variant, cfg] = GetParam();
+    auto live = liveStats(id, variant, cfg);
+    auto trace = driver::recordKernelTrace(id, variant);
+    auto replayed = trace.replay(cfg);
+    EXPECT_EQ(trace.instructions(), live.instructions);
+    expectStatsEqual(live, replayed);
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<ReplayCase> &info)
+{
+    std::string name = crypto::cipherInfo(info.param.cipher).name + "_"
+        + kernels::variantName(info.param.variant) + "_"
+        + info.param.model.name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ReplayDeterminism,
+    ::testing::Values(
+        ReplayCase{crypto::CipherId::RC4, KernelVariant::BaselineRot,
+                   MachineConfig::fourWide()},
+        ReplayCase{crypto::CipherId::RC4, KernelVariant::BaselineRot,
+                   MachineConfig::dataflow()},
+        ReplayCase{crypto::CipherId::Rijndael, KernelVariant::BaselineRot,
+                   MachineConfig::fourWide()},
+        ReplayCase{crypto::CipherId::Rijndael, KernelVariant::BaselineRot,
+                   MachineConfig::dataflow()},
+        // The SBox-cache path (4W+) and the 21264-class preset are
+        // exercised on the optimized kernels too.
+        ReplayCase{crypto::CipherId::Rijndael, KernelVariant::Optimized,
+                   MachineConfig::fourWidePlus()},
+        ReplayCase{crypto::CipherId::RC4, KernelVariant::Optimized,
+                   MachineConfig::alpha21264()}),
+    caseName);
+
+TEST(Replay, ReplayingTwiceIsIdentical)
+{
+    auto trace = driver::recordKernelTrace(crypto::CipherId::RC4,
+                                           KernelVariant::BaselineRot);
+    auto a = trace.replay(MachineConfig::fourWide());
+    auto b = trace.replay(MachineConfig::fourWide());
+    expectStatsEqual(a, b);
+}
+
+TEST(Replay, StreamPreservesSequenceNumbers)
+{
+    auto trace = driver::recordKernelTrace(crypto::CipherId::Rijndael,
+                                           KernelVariant::Optimized);
+    ASSERT_FALSE(trace.empty());
+    const auto &stream = trace.stream();
+    for (size_t i = 0; i < stream.size(); i++)
+        ASSERT_EQ(stream[i].seq, i);
+}
+
+} // namespace
