@@ -6,8 +6,16 @@
  * through the modeled pipeline while hand-optimizing the cipher
  * kernels. This tool renders the same picture in a terminal: one row
  * per dynamic instruction, one column per cycle, showing where each
- * instruction fetched (f), waited (.), issued-to-completed (X) and
- * retired (r) — dependence chains appear as descending staircases.
+ * instruction fetched (f), executed (X) and retired (r) — dependence
+ * chains appear as descending staircases.
+ *
+ * Wait cycles are labeled with the scheduler's own stall attribution
+ * (sim/stall.hh): the span before dispatch shows window (w) and
+ * redirect (b) charges, and the dispatch-to-issue span shows the
+ * cause of every cycle — operand dependence (d), producer memory
+ * latency (m), store-alias ordering (a), SBOXSYNC visibility (s),
+ * lost issue slots (i) and busy functional units (u). Uncharged
+ * in-flight cycles (frontend run-ahead, completed-to-retire) stay '.'.
  *
  * Usage: pipeline_view [cipher] [variant] [model] [start] [count]
  */
@@ -92,8 +100,10 @@ main(int argc, char **argv)
     const unsigned width =
         static_cast<unsigned>(std::min<sim::Cycle>(end - base + 2, 150));
 
-    std::printf("%s on %s — cycles %llu..%llu  (f fetch, . wait, "
-                "X execute, r retire)\n\n",
+    std::printf("%s on %s — cycles %llu..%llu\n"
+                "(f fetch, X execute, r retire, . in flight; stalls: "
+                "w window, b redirect,\n d operand, m memory, a alias, "
+                "s sbox-sync, i issue slot, u FU busy)\n\n",
                 build.name.c_str(), stats.model.c_str(),
                 static_cast<unsigned long long>(base),
                 static_cast<unsigned long long>(base + width - 1));
@@ -108,6 +118,38 @@ main(int argc, char **argv)
              c++) {
             put(c, '.');
         }
+
+        // Pre-dispatch charges end at dispatch: redirect, then window.
+        using sim::StallCause;
+        auto count = [&](StallCause cause) {
+            return e.stall[static_cast<size_t>(cause)];
+        };
+        sim::Cycle pre = e.dispatch;
+        for (uint64_t n = count(StallCause::WindowFull); n && pre; n--)
+            put(--pre, 'w');
+        for (uint64_t n = count(StallCause::FetchRedirect); n && pre; n--)
+            put(--pre, 'b');
+
+        // Dispatch-to-issue: readiness causes fill dispatch..ready,
+        // resource causes fill ready..issue — the per-entry invariant
+        // guarantees the counts tile the span exactly.
+        static constexpr struct { StallCause cause; char ch; } spans[] = {
+            {StallCause::StoreAlias, 'a'},
+            {StallCause::SboxVisibility, 's'},
+            {StallCause::MemLatency, 'm'},
+            {StallCause::Operand, 'd'},
+            {StallCause::IssueSlot, 'i'},
+            {StallCause::FuAlu, 'u'},
+            {StallCause::FuRot, 'u'},
+            {StallCause::FuMul, 'u'},
+            {StallCause::FuDcache, 'u'},
+            {StallCause::FuSbox, 'u'},
+        };
+        sim::Cycle cur = e.dispatch;
+        for (const auto &span : spans)
+            for (uint64_t n = count(span.cause); n; n--)
+                put(cur++, span.ch);
+
         for (sim::Cycle c = e.issue; c < e.complete; c++)
             put(c, 'X');
         put(e.fetch, 'f');

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 namespace cryptarch::driver
 {
@@ -43,11 +44,27 @@ cacheJson(std::ostringstream &os, const char *name,
        << ", \"misses\": " << c.misses << "}";
 }
 
+void
+stallJson(std::ostringstream &os, const sim::StallVector &v)
+{
+    os << "{";
+    for (size_t c = 0; c < sim::num_stall_causes; c++)
+        os << (c ? ", " : "") << "\""
+           << sim::stall_cause_names[c] << "\": " << v[c];
+    os << "}";
+}
+
 } // namespace
 
 std::string
 toJson(const sim::SimStats &stats)
 {
+    // Per-class keys come from the one OpClass-name table; a new
+    // OpClass extends both the array and the table or fails to build.
+    static_assert(std::tuple_size_v<decltype(stats.classCounts)>
+                      == isa::num_op_classes,
+                  "classCounts must cover every OpClass");
+
     std::ostringstream os;
     os << "{\"instructions\": " << stats.instructions
        << ", \"cycles\": " << stats.cycles << ", \"ipc\": " << stats.ipc()
@@ -56,10 +73,37 @@ toJson(const sim::SimStats &stats)
        << ", \"loads\": " << stats.loads << ", \"stores\": " << stats.stores
        << ", \"sbox_accesses\": " << stats.sboxAccesses
        << ", \"sbox_cache_hits\": " << stats.sboxCacheHits
-       << ", \"class_counts\": [";
+       << ", \"sbox_cache_accesses\": " << stats.sboxCacheAccesses
+       << ", \"sbox_cache_misses\": " << stats.sboxCacheMisses
+       << ", \"sbox_caches\": [";
+    for (size_t i = 0; i < stats.sboxCaches.size(); i++) {
+        os << (i ? ", " : "") << "{\"accesses\": "
+           << stats.sboxCaches[i].accesses << ", \"misses\": "
+           << stats.sboxCaches[i].misses << "}";
+    }
+    os << "], \"class_counts\": {";
     for (size_t i = 0; i < stats.classCounts.size(); i++)
-        os << (i ? ", " : "") << stats.classCounts[i];
-    os << "], ";
+        os << (i ? ", " : "") << "\""
+           << isa::opClassName(static_cast<isa::OpClass>(i))
+           << "\": " << stats.classCounts[i];
+    os << "}, \"stall_cycles\": ";
+    stallJson(os, stats.stallCycles);
+    // Per-class stall breakdowns, for classes that stalled at all.
+    os << ", \"stall_by_class\": {";
+    bool first = true;
+    for (size_t i = 0; i < stats.stallByClass.size(); i++) {
+        const auto &v = stats.stallByClass[i];
+        uint64_t total = 0;
+        for (uint64_t n : v)
+            total += n;
+        if (!total)
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << isa::opClassName(static_cast<isa::OpClass>(i)) << "\": ";
+        stallJson(os, v);
+        first = false;
+    }
+    os << "}, ";
     cacheJson(os, "l1", stats.l1);
     os << ", ";
     cacheJson(os, "l2", stats.l2);
@@ -78,7 +122,7 @@ writeBenchJson(const std::string &path, std::string_view bench,
         throw std::runtime_error("cannot write " + path);
 
     out << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
-        << "  \"schema\": 1,\n  \"results\": [\n";
+        << "  \"schema\": 2,\n  \"results\": [\n";
     for (size_t i = 0; i < results.size(); i++) {
         const auto &r = results[i];
         out << "    {\"cipher\": \""

@@ -4,11 +4,11 @@
  *
  * Every migrated bench emits its full sweep next to the paper-formatted
  * text table, so regenerated figures are diffable and downstream
- * tooling never has to scrape printf output. Schema (version 1):
+ * tooling never has to scrape printf output. Schema (version 2):
  *
  *   {
  *     "bench": "<figure/table id>",
- *     "schema": 1,
+ *     "schema": 2,
  *     "results": [
  *       {
  *         "cipher": "RC4",
@@ -20,7 +20,12 @@
  *           "cond_branches": N, "mispredicts": N,
  *           "loads": N, "stores": N,
  *           "sbox_accesses": N, "sbox_cache_hits": N,
- *           "class_counts": [N x 11],
+ *           "sbox_cache_accesses": N, "sbox_cache_misses": N,
+ *           "sbox_caches": [{"accesses": N, "misses": N} per cache],
+ *           "class_counts": {"<OpClass name>": N, ... all 11},
+ *           "stall_cycles": {"<cause>": N, ... sim/stall.hh order},
+ *           "stall_by_class": {"<OpClass name>": {"<cause>": N, ...},
+ *                              ... classes with nonzero stalls only},
  *           "l1":  {"accesses": N, "misses": N},
  *           "l2":  {"accesses": N, "misses": N},
  *           "tlb": {"accesses": N, "misses": N}
@@ -28,6 +33,11 @@
  *       }, ...
  *     ]
  *   }
+ *
+ * Schema history: v2 added the SBox-cache access/miss totals, named
+ * per-OpClass class_counts (v1 emitted an anonymous array that could
+ * silently desynchronize from the enum) and the stall-attribution
+ * counters.
  */
 
 #ifndef CRYPTARCH_DRIVER_JSON_HH

@@ -1,5 +1,6 @@
 #include "isa/inst.hh"
 
+#include <array>
 #include <sstream>
 
 namespace cryptarch::isa
@@ -108,6 +109,24 @@ opClass(const Inst &inst)
       default:
         return OpClass::IntAlu;
     }
+}
+
+namespace
+{
+
+constexpr std::array<const char *, num_op_classes> op_class_names = {
+    "Nop",    "Control",  "IntAlu", "IntMult",  "IntMult32", "MulMod",
+    "RotUnit", "Load",    "Store",  "SboxRead", "SboxSync",
+};
+static_assert(op_class_names.size() == num_op_classes,
+              "op_class_names must name every OpClass");
+
+} // namespace
+
+const char *
+opClassName(OpClass cls)
+{
+    return op_class_names[static_cast<size_t>(cls)];
 }
 
 std::string

@@ -20,6 +20,7 @@
 #ifndef CRYPTARCH_ISA_INST_HH
 #define CRYPTARCH_ISA_INST_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -122,6 +123,16 @@ enum class OpClass : uint8_t
     SboxRead,  ///< non-aliased SBOX access
     SboxSync,
 };
+
+/** Number of OpClass values (size of any per-class accumulator). */
+constexpr size_t num_op_classes =
+    static_cast<size_t>(OpClass::SboxSync) + 1;
+
+/**
+ * Canonical OpClass name, the single table behind per-class statistics
+ * keys (BENCH_*.json class_counts, the stall-attribution report).
+ */
+const char *opClassName(OpClass cls);
 
 /** One CryptISA instruction. */
 struct Inst

@@ -39,6 +39,7 @@
 #include "sim/cache.hh"
 #include "sim/config.hh"
 #include "sim/resource.hh"
+#include "sim/stall.hh"
 
 namespace cryptarch::sim
 {
@@ -56,18 +57,39 @@ struct SimStats
     uint64_t stores = 0;
     uint64_t sboxAccesses = 0;   ///< non-aliased SBOX reads
     uint64_t sboxCacheHits = 0;  ///< SBox sector-cache hits (4W+/8W+)
+    /** SBox sector-cache accesses/misses summed over all caches, so
+     *  hit rates are computable from the report alone. */
+    uint64_t sboxCacheAccesses = 0;
+    uint64_t sboxCacheMisses = 0;
+    /** Per-SBox-cache access/miss totals (empty without SBox caches). */
+    std::vector<CacheStats> sboxCaches;
 
     CacheStats l1;
     CacheStats l2;
     CacheStats tlb;
 
     /** Dynamic instruction count per functional-unit class. */
-    std::array<uint64_t, 11> classCounts{};
+    std::array<uint64_t, isa::num_op_classes> classCounts{};
+
+    /** Cycles instructions spent stalled, by cause (sim/stall.hh). */
+    StallVector stallCycles{};
+    /** The same cycles, broken down by the stalling OpClass. */
+    std::array<StallVector, isa::num_op_classes> stallByClass{};
 
     double
     ipc() const
     {
         return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    /** Total attributed stall cycles, every cause. */
+    uint64_t
+    totalStallCycles() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t v : stallCycles)
+            sum += v;
+        return sum;
     }
 };
 
@@ -87,6 +109,15 @@ struct TimelineEntry
     Cycle issue = 0;
     Cycle complete = 0;
     Cycle retire = 0;
+    /**
+     * Per-cause stall cycles of this instruction. The causes other
+     * than WindowFull/FetchRedirect sum exactly to (issue - dispatch);
+     * WindowFull and FetchRedirect are dispatch delays charged only
+     * beyond every other readiness constraint and only at the in-order
+     * dispatch frontier, so frontend run-ahead is never counted as a
+     * machine stall (see DESIGN.md on stall accounting).
+     */
+    StallVector stall{};
 };
 
 /** Trace-driven out-of-order core model. */
@@ -119,19 +150,34 @@ class OooScheduler : public isa::TraceSink
 
   private:
     Cycle fetchOf(const isa::DynInst &inst);
-    Cycle issueOf(const isa::DynInst &inst, Cycle ready, unsigned &lat);
+    /**
+     * Schedule @p inst at the first cycle >= @p ready with an issue
+     * slot and a free functional unit. Returns the issue cycle and
+     * sets @p lat to the operation latency and @p memExtra to the
+     * memory-hierarchy portion of it (cycles beyond a hit). Every
+     * probed cycle that loses the joint reservation race is charged
+     * to the losing constraint in @p stall.
+     */
+    Cycle issueOf(const isa::DynInst &inst, Cycle ready, unsigned &lat,
+                  unsigned &memExtra, StallVector &stall);
 
     MachineConfig cfg;
     SimStats stats;
 
     // Register scoreboard: completion cycle of the latest writer.
     std::array<Cycle, isa::num_regs> regReady{};
+    // Memory-hierarchy extra cycles inside the latest writer's latency
+    // (for attributing operand waits to MemLatency vs. Operand).
+    std::array<unsigned, isa::num_regs> regMemExtra{};
 
     // Frontend state.
     Cycle fetchCycle = 0;
     unsigned fetchedThisCycle = 0;
     unsigned blocksThisCycle = 0;
     bool nextCycleFetch = false;
+    // Fetch delay from the latest misprediction redirect, charged to
+    // the next instruction that fetches.
+    Cycle pendingRedirectStall = 0;
 
     // Memory ordering.
     Cycle storeAddrFrontier = 0; ///< latest known store address-resolve
@@ -152,6 +198,9 @@ class OooScheduler : public isa::TraceSink
     uint64_t instIndex = 0;
     Cycle lastRetire = 0;
     Cycle maxComplete = 0;
+    // Dispatch frontier (dispatch is in order): used to charge each
+    // window-stalled dispatch cycle to exactly one instruction.
+    Cycle lastDispatch = 0;
 
     BranchPredictor predictor;
     MemoryHierarchy memory;

@@ -68,6 +68,32 @@ class CycleResource
     }
 
     /**
+     * Book @p units at @p cycle if they fit, with a single table
+     * lookup (canReserve+book costs two). Returns false and books
+     * nothing when the cycle is full. The scheduler's joint
+     * slot-and-unit reservation is built on this.
+     */
+    bool
+    tryBook(Cycle cycle, unsigned units = 1)
+    {
+        if (cap == unlimited)
+            return true;
+        auto &used = usage[cycle];
+        if (used + units > cap)
+            return false;
+        used += units;
+        return true;
+    }
+
+    /** Undo a successful tryBook at @p cycle (joint-reservation rollback). */
+    void
+    unbook(Cycle cycle, unsigned units = 1)
+    {
+        if (cap != unlimited)
+            usage[cycle] -= units;
+    }
+
+    /**
      * Drop bookkeeping for cycles below @p horizon. Callers guarantee
      * they will never reserve below the horizon again.
      */

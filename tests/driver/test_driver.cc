@@ -158,13 +158,23 @@ TEST(Driver, JsonEmitterWritesSchema)
     std::string json = buf.str();
 
     EXPECT_NE(json.find("\"bench\": \"test\""), std::string::npos);
-    EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"cipher\": \"RC4\""), std::string::npos);
     EXPECT_NE(json.find("\"model\": \"4W\""), std::string::npos);
     EXPECT_NE(json.find("\"session_bytes\": 4096"), std::string::npos);
     EXPECT_NE(json.find("\"cycles\": "), std::string::npos);
     EXPECT_NE(json.find("\"mispredicts\": "), std::string::npos);
     EXPECT_NE(json.find("\"l1\": {\"accesses\": "), std::string::npos);
+    // Schema v2: merged SBox-cache stats, named per-class counts from
+    // the OpClass name table, and the stall-attribution counters.
+    EXPECT_NE(json.find("\"sbox_cache_accesses\": "), std::string::npos);
+    EXPECT_NE(json.find("\"sbox_cache_misses\": "), std::string::npos);
+    EXPECT_NE(json.find("\"class_counts\": {\"Nop\": "), std::string::npos);
+    EXPECT_NE(json.find("\"SboxSync\": "), std::string::npos);
+    EXPECT_NE(json.find("\"stall_cycles\": {\"operand\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"stall_by_class\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"alias\": "), std::string::npos);
 
     // The emitted cycles match the sweep's stats.
     std::ostringstream expect;

@@ -50,6 +50,14 @@ expectStatsEqual(const SimStats &live, const SimStats &replayed)
     EXPECT_EQ(live.stores, replayed.stores);
     EXPECT_EQ(live.sboxAccesses, replayed.sboxAccesses);
     EXPECT_EQ(live.sboxCacheHits, replayed.sboxCacheHits);
+    EXPECT_EQ(live.sboxCacheAccesses, replayed.sboxCacheAccesses);
+    EXPECT_EQ(live.sboxCacheMisses, replayed.sboxCacheMisses);
+    ASSERT_EQ(live.sboxCaches.size(), replayed.sboxCaches.size());
+    for (size_t i = 0; i < live.sboxCaches.size(); i++) {
+        EXPECT_EQ(live.sboxCaches[i].accesses,
+                  replayed.sboxCaches[i].accesses);
+        EXPECT_EQ(live.sboxCaches[i].misses, replayed.sboxCaches[i].misses);
+    }
     EXPECT_EQ(live.l1.accesses, replayed.l1.accesses);
     EXPECT_EQ(live.l1.misses, replayed.l1.misses);
     EXPECT_EQ(live.l2.accesses, replayed.l2.accesses);
@@ -59,6 +67,13 @@ expectStatsEqual(const SimStats &live, const SimStats &replayed)
     for (size_t i = 0; i < live.classCounts.size(); i++)
         EXPECT_EQ(live.classCounts[i], replayed.classCounts[i])
             << "class " << i;
+    for (size_t c = 0; c < sim::num_stall_causes; c++)
+        EXPECT_EQ(live.stallCycles[c], replayed.stallCycles[c])
+            << "cause " << sim::stall_cause_names[c];
+    for (size_t i = 0; i < live.stallByClass.size(); i++)
+        for (size_t c = 0; c < sim::num_stall_causes; c++)
+            EXPECT_EQ(live.stallByClass[i][c], replayed.stallByClass[i][c])
+                << "class " << i << " cause " << sim::stall_cause_names[c];
 }
 
 struct ReplayCase

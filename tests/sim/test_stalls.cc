@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the stall-cause attribution layer (sim/stall.hh).
+ *
+ * The per-instruction invariant is exact: every cause other than
+ * WindowFull/FetchRedirect tiles the dispatch-to-issue span, so their
+ * sum equals (issue - dispatch) for every timeline entry. On top of
+ * that, the aggregate counters must reproduce the paper's Figure 5
+ * story from a single 4W run: alias ordering and window occupancy
+ * matter only for RC4, issue width and FU contention for the rest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <initializer_list>
+#include <string>
+
+#include "driver/workload.hh"
+#include "kernels/kernel.hh"
+#include "sim/pipeline.hh"
+#include "sim/stall.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using kernels::KernelVariant;
+using sim::MachineConfig;
+using sim::SimStats;
+using sim::StallCause;
+
+/** Run @p id on @p cfg, recording the timeline of the whole run. */
+sim::OooScheduler &
+runScheduler(sim::OooScheduler &sched, crypto::CipherId id,
+             KernelVariant variant)
+{
+    driver::Workload w = driver::makeWorkload(id);
+    auto build = kernels::buildKernel(id, variant, w.key, w.iv,
+                                      driver::session_bytes);
+    isa::Machine m;
+    build.install(m, kernels::toWordImage(id, w.plaintext));
+    m.run(build.program, &sched, 1ull << 32);
+    return sched;
+}
+
+uint64_t
+causeSum(const sim::StallVector &v,
+         std::initializer_list<StallCause> causes)
+{
+    uint64_t sum = 0;
+    for (auto c : causes)
+        sum += v[static_cast<size_t>(c)];
+    return sum;
+}
+
+struct InvariantCase
+{
+    crypto::CipherId cipher;
+    MachineConfig model;
+};
+
+class StallInvariants : public ::testing::TestWithParam<InvariantCase>
+{
+};
+
+TEST_P(StallInvariants, CausesTileTheDispatchToIssueSpan)
+{
+    const auto &[id, cfg] = GetParam();
+    sim::OooScheduler sched(cfg);
+    sched.recordTimeline(0, 1ull << 30); // the whole run
+    runScheduler(sched, id, KernelVariant::BaselineRot);
+    auto stats = sched.finish();
+
+    const auto &tl = sched.timelineEntries();
+    ASSERT_EQ(tl.size(), stats.instructions);
+
+    sim::StallVector fromTimeline{};
+    for (const auto &e : tl) {
+        // Exact per-instruction accounting: readiness + resource
+        // causes cover every cycle between dispatch and issue, once.
+        ASSERT_EQ(sim::dispatchToIssueCycles(e.stall),
+                  e.issue - e.dispatch)
+            << "seq " << e.seq;
+        for (size_t c = 0; c < sim::num_stall_causes; c++)
+            fromTimeline[c] += e.stall[c];
+    }
+
+    // The aggregate counters are exactly the per-instruction charges...
+    for (size_t c = 0; c < sim::num_stall_causes; c++)
+        EXPECT_EQ(stats.stallCycles[c], fromTimeline[c])
+            << "cause " << sim::stall_cause_names[c];
+
+    // ...and the per-class breakdown partitions them.
+    sim::StallVector fromClasses{};
+    for (const auto &v : stats.stallByClass)
+        for (size_t c = 0; c < sim::num_stall_causes; c++)
+            fromClasses[c] += v[c];
+    for (size_t c = 0; c < sim::num_stall_causes; c++)
+        EXPECT_EQ(stats.stallCycles[c], fromClasses[c])
+            << "cause " << sim::stall_cause_names[c];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, StallInvariants,
+    ::testing::Values(
+        InvariantCase{crypto::CipherId::RC4, MachineConfig::fourWide()},
+        InvariantCase{crypto::CipherId::Rijndael, MachineConfig::fourWide()},
+        InvariantCase{crypto::CipherId::TripleDES,
+                      MachineConfig::fourWidePlus()},
+        InvariantCase{crypto::CipherId::IDEA, MachineConfig::dataflow()},
+        InvariantCase{crypto::CipherId::Blowfish,
+                      MachineConfig::alpha21264()}),
+    [](const ::testing::TestParamInfo<InvariantCase> &info) {
+        std::string name = crypto::cipherInfo(info.param.cipher).name
+            + "_" + info.param.model.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(StallInvariants, DataflowMachineHasNoMachineImposedStalls)
+{
+    sim::OooScheduler sched(MachineConfig::dataflow());
+    runScheduler(sched, crypto::CipherId::RC4, KernelVariant::BaselineRot);
+    auto stats = sched.finish();
+    // DF disables every constraint; only dependence waits remain.
+    EXPECT_EQ(causeSum(stats.stallCycles,
+                       {StallCause::StoreAlias, StallCause::SboxVisibility,
+                        StallCause::WindowFull, StallCause::FetchRedirect,
+                        StallCause::IssueSlot, StallCause::FuAlu,
+                        StallCause::FuRot, StallCause::FuMul,
+                        StallCause::FuDcache, StallCause::FuSbox}),
+              0u);
+    EXPECT_GT(causeSum(stats.stallCycles, {StallCause::Operand}), 0u);
+}
+
+/** Figure 5 golden shape, measured directly on the 4W machine. */
+TEST(StallGolden, Rc4IsAliasAndWindowBound)
+{
+    sim::OooScheduler sched(MachineConfig::fourWide());
+    runScheduler(sched, crypto::CipherId::RC4, KernelVariant::BaselineRot);
+    auto stats = sched.finish();
+
+    uint64_t aliasWindow = causeSum(
+        stats.stallCycles, {StallCause::StoreAlias, StallCause::WindowFull});
+    uint64_t issueFu = causeSum(
+        stats.stallCycles,
+        {StallCause::IssueSlot, StallCause::FuAlu, StallCause::FuRot,
+         StallCause::FuMul, StallCause::FuDcache, StallCause::FuSbox});
+    // Alias ordering dominates the machine-imposed stalls (Figure 5:
+    // the Alias bar is RC4's deepest), and it is a significant share
+    // of all waiting, not a rounding artifact.
+    EXPECT_GT(aliasWindow, 5 * issueFu);
+    EXPECT_GT(10 * aliasWindow, stats.totalStallCycles());
+}
+
+TEST(StallGolden, RijndaelIsIssueAndFuBound)
+{
+    sim::OooScheduler sched(MachineConfig::fourWide());
+    runScheduler(sched, crypto::CipherId::Rijndael,
+                 KernelVariant::BaselineRot);
+    auto stats = sched.finish();
+
+    uint64_t aliasWindow = causeSum(
+        stats.stallCycles, {StallCause::StoreAlias, StallCause::WindowFull});
+    uint64_t issueFu = causeSum(
+        stats.stallCycles,
+        {StallCause::IssueSlot, StallCause::FuAlu, StallCause::FuRot,
+         StallCause::FuMul, StallCause::FuDcache, StallCause::FuSbox});
+    EXPECT_GT(issueFu, 20 * aliasWindow);
+    EXPECT_GT(10 * issueFu, stats.totalStallCycles());
+    // Branch redirects never matter for the ciphers (paper Section 3).
+    EXPECT_LT(100 * causeSum(stats.stallCycles, {StallCause::FetchRedirect}),
+              stats.totalStallCycles());
+}
+
+TEST(SboxCacheStats, AccessesAndMissesReachSimStats)
+{
+    // 4W+ attaches SBox sector caches; the optimized Rijndael kernel
+    // drives them. Before the merge fix only hits survived finish().
+    sim::OooScheduler sched(MachineConfig::fourWidePlus());
+    runScheduler(sched, crypto::CipherId::Rijndael,
+                 KernelVariant::Optimized);
+    auto stats = sched.finish();
+
+    EXPECT_GT(stats.sboxCacheAccesses, 0u);
+    EXPECT_EQ(stats.sboxCacheAccesses,
+              stats.sboxCacheHits + stats.sboxCacheMisses);
+    EXPECT_FALSE(stats.sboxCaches.empty());
+    uint64_t accesses = 0, misses = 0;
+    for (const auto &c : stats.sboxCaches) {
+        accesses += c.accesses;
+        misses += c.misses;
+    }
+    EXPECT_EQ(accesses, stats.sboxCacheAccesses);
+    EXPECT_EQ(misses, stats.sboxCacheMisses);
+}
+
+} // namespace
