@@ -117,6 +117,14 @@ void
 writeBenchJson(const std::string &path, std::string_view bench,
                const std::vector<SweepResult> &results)
 {
+    writeBenchJson(path, bench, results, {});
+}
+
+void
+writeBenchJson(const std::string &path, std::string_view bench,
+               const std::vector<SweepResult> &results,
+               const std::vector<std::string> &resultExtras)
+{
     std::ofstream out(path);
     if (!out)
         throw std::runtime_error("cannot write " + path);
@@ -128,8 +136,10 @@ writeBenchJson(const std::string &path, std::string_view bench,
         out << "    {\"cipher\": \""
             << escape(crypto::cipherInfo(r.cipher).name) << "\", \"variant\": \""
             << escape(kernels::variantName(r.variant)) << "\", \"model\": \""
-            << escape(r.model) << "\", \"session_bytes\": " << r.bytes
-            << ",\n     \"stats\": " << toJson(r.stats) << "}"
+            << escape(r.model) << "\", \"session_bytes\": " << r.bytes;
+        if (i < resultExtras.size() && !resultExtras[i].empty())
+            out << ",\n     " << resultExtras[i];
+        out << ",\n     \"stats\": " << toJson(r.stats) << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

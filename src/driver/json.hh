@@ -63,6 +63,17 @@ std::string toJson(const sim::SimStats &stats);
 void writeBenchJson(const std::string &path, std::string_view bench,
                     const std::vector<SweepResult> &results);
 
+/**
+ * Same schema, with extra per-result members: @p resultExtras[i] is a
+ * raw JSON fragment ("\"key\": value, ...") spliced into result i's
+ * object between "session_bytes" and "stats". Empty fragments add
+ * nothing; the vector may be shorter than @p results. The simspeed
+ * self-benchmark uses this for its host-side timing members.
+ */
+void writeBenchJson(const std::string &path, std::string_view bench,
+                    const std::vector<SweepResult> &results,
+                    const std::vector<std::string> &resultExtras);
+
 } // namespace cryptarch::driver
 
 #endif // CRYPTARCH_DRIVER_JSON_HH

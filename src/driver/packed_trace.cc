@@ -1,0 +1,117 @@
+#include "driver/packed_trace.hh"
+
+namespace cryptarch::driver
+{
+
+uint16_t
+PackedTrace::sizeCode(uint8_t size)
+{
+    switch (size) {
+    case 0:
+        return 0;
+    case 1:
+        return 1;
+    case 2:
+        return 2;
+    case 4:
+        return 3;
+    case 8:
+        return 4;
+    default:
+        assert(!"unencodable access size");
+        return 0;
+    }
+}
+
+void
+PackedTrace::append(const isa::DynInst &inst, bool keepResult)
+{
+    assert(inst.seq == size() && "seq must equal append index");
+    assert(inst.numSrcs <= 3);
+
+    uint16_t flags = inst.numSrcs & num_srcs_mask;
+    if (inst.isLoad)
+        flags |= f_load;
+    if (inst.isStore)
+        flags |= f_store;
+    if (inst.branch)
+        flags |= f_branch;
+    if (inst.taken)
+        flags |= f_taken;
+    if (inst.aliased)
+        flags |= f_aliased;
+    flags |= sizeCode(inst.size) << size_code_shift;
+
+    if (inst.addr != 0) {
+        flags |= f_has_addr;
+        if (inst.addr >> 32) {
+            flags |= f_wide_addr;
+            addrWide_.push_back(inst.addr);
+        } else {
+            addr32_.push_back(static_cast<uint32_t>(inst.addr));
+        }
+    }
+    if (inst.nextPc != inst.pc + 1) {
+        flags |= f_next_pc_exc;
+        nextPcExc_.push_back(inst.nextPc);
+    }
+    if (keepResult && inst.result != 0) {
+        flags |= f_has_result;
+        result_.push_back(inst.result);
+    }
+
+    pc_.push_back(inst.pc);
+    op_.push_back(static_cast<uint8_t>(inst.op));
+    cls_.push_back(static_cast<uint8_t>(inst.cls));
+    dest_.push_back(inst.dest);
+    addrSrc_.push_back(inst.addrSrc);
+    tableId_.push_back(inst.tableId);
+    srcs_.push_back(inst.srcs[0]);
+    srcs_.push_back(inst.srcs[1]);
+    srcs_.push_back(inst.srcs[2]);
+    flags_.push_back(flags);
+}
+
+void
+PackedTrace::reserve(size_t n)
+{
+    pc_.reserve(n);
+    op_.reserve(n);
+    cls_.reserve(n);
+    dest_.reserve(n);
+    addrSrc_.reserve(n);
+    tableId_.reserve(n);
+    srcs_.reserve(3 * n);
+    flags_.reserve(n);
+}
+
+size_t
+PackedTrace::packedBytes() const
+{
+    return pc_.size() * sizeof(uint32_t) + op_.size() + cls_.size()
+        + dest_.size() + addrSrc_.size() + tableId_.size() + srcs_.size()
+        + flags_.size() * sizeof(uint16_t)
+        + addr32_.size() * sizeof(uint32_t)
+        + addrWide_.size() * sizeof(uint64_t)
+        + nextPcExc_.size() * sizeof(uint32_t)
+        + result_.size() * sizeof(uint64_t);
+}
+
+void
+PackedTrace::clear()
+{
+    pc_.clear();
+    op_.clear();
+    cls_.clear();
+    dest_.clear();
+    addrSrc_.clear();
+    tableId_.clear();
+    srcs_.clear();
+    flags_.clear();
+    addr32_.clear();
+    addrWide_.clear();
+    nextPcExc_.clear();
+    result_.clear();
+}
+
+} // namespace cryptarch::driver

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Structure-of-arrays compact encoding of a dynamic instruction stream.
+ *
+ * A trace replayed across a model grid is read once per timing model,
+ * so replay throughput is bounded by how many bytes per instruction
+ * stream through the cache hierarchy. A full isa::DynInst is 56 bytes;
+ * PackedTrace stores the same information in 14 fixed bytes per
+ * instruction plus small side tables, and decodes back to DynInst on
+ * the fly during replay:
+ *
+ *   fixed SoA columns (14 B/inst)
+ *     pc        u32   static instruction index
+ *     op, cls   u8+u8
+ *     dest      u8
+ *     addrSrc   u8
+ *     tableId   u8
+ *     srcs      3xu8  source registers (always three slots)
+ *     flags     u16   see flag bits below
+ *
+ *   side tables (entries only where the common case fails)
+ *     addr32    u32   effective address, when != 0 and < 2^32
+ *     addrWide  u64   escape for addresses >= 2^32
+ *     nextPcExc u32   successor pc, when != pc + 1 (taken branches,
+ *                     the final Halt)
+ *     result    u64   written value, when kept and != 0
+ *
+ * flags bits: 0-1 numSrcs, 2 isLoad, 3 isStore, 4 branch, 5 taken,
+ * 6 aliased, 7 hasAddr, 8 nextPc exception, 9 hasResult,
+ * 10-12 size code (decode table {0,1,2,4,8}), 13 wide address.
+ *
+ * Sequence numbers are implicit: appended instructions must arrive
+ * with seq equal to their index (the functional Machine emits them
+ * that way), and decode reconstructs seq from the cursor position.
+ * Side-table membership is order-dependent, so decoding is sequential
+ * through a Reader cursor — exactly the access pattern replay has.
+ */
+
+#ifndef CRYPTARCH_DRIVER_PACKED_TRACE_HH
+#define CRYPTARCH_DRIVER_PACKED_TRACE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "isa/machine.hh"
+
+namespace cryptarch::driver
+{
+
+class PackedTrace
+{
+  public:
+    /**
+     * Append @p inst to the stream. @p inst.seq must equal size().
+     * With @p keepResult false the result value is dropped (decodes
+     * as 0) — timing models never read it, and results are the one
+     * field that would otherwise dominate the encoding.
+     */
+    void append(const isa::DynInst &inst, bool keepResult = true);
+
+    /** Pre-size the fixed columns for @p n instructions. */
+    void reserve(size_t n);
+
+    size_t size() const { return flags_.size(); }
+    bool empty() const { return flags_.empty(); }
+
+    /** Total bytes held across fixed columns and side tables. */
+    size_t packedBytes() const;
+
+    void clear();
+
+    /**
+     * Sequential decode cursor. Readers are cheap to construct and
+     * independent, so a trace can be replayed concurrently.
+     */
+    class Reader
+    {
+      public:
+        explicit Reader(const PackedTrace &t) : trace(&t) {}
+
+        bool done() const { return index >= trace->size(); }
+
+        /** Decode the next instruction; valid only when !done().
+         *  Defined inline below: the decode runs once per replayed
+         *  instruction and wants to fold into the replay loop rather
+         *  than pay a cross-TU call returning a 56-byte DynInst. */
+        isa::DynInst next();
+
+      private:
+        const PackedTrace *trace;
+        size_t index = 0;
+        size_t addr32Pos = 0;
+        size_t addrWidePos = 0;
+        size_t nextPcPos = 0;
+        size_t resultPos = 0;
+    };
+
+    Reader reader() const { return Reader(*this); }
+
+  private:
+    // flags bit layout (see file comment).
+    static constexpr uint16_t num_srcs_mask = 0x0003;
+    static constexpr uint16_t f_load = 1u << 2;
+    static constexpr uint16_t f_store = 1u << 3;
+    static constexpr uint16_t f_branch = 1u << 4;
+    static constexpr uint16_t f_taken = 1u << 5;
+    static constexpr uint16_t f_aliased = 1u << 6;
+    static constexpr uint16_t f_has_addr = 1u << 7;
+    static constexpr uint16_t f_next_pc_exc = 1u << 8;
+    static constexpr uint16_t f_has_result = 1u << 9;
+    static constexpr unsigned size_code_shift = 10;
+    static constexpr uint16_t size_code_mask = 0x7;
+    static constexpr uint16_t f_wide_addr = 1u << 13;
+
+    /** Access sizes the ISA produces, indexed by size code. */
+    static constexpr uint8_t size_table[5] = {0, 1, 2, 4, 8};
+
+    static uint16_t sizeCode(uint8_t size);
+
+    std::vector<uint32_t> pc_;
+    std::vector<uint8_t> op_;
+    std::vector<uint8_t> cls_;
+    std::vector<uint8_t> dest_;
+    std::vector<uint8_t> addrSrc_;
+    std::vector<uint8_t> tableId_;
+    std::vector<uint8_t> srcs_; ///< 3 slots per instruction, flat
+    std::vector<uint16_t> flags_;
+
+    std::vector<uint32_t> addr32_;
+    std::vector<uint64_t> addrWide_;
+    std::vector<uint32_t> nextPcExc_;
+    std::vector<uint64_t> result_;
+};
+
+inline isa::DynInst
+PackedTrace::Reader::next()
+{
+    const PackedTrace &t = *trace;
+    const size_t i = index;
+    const uint16_t flags = t.flags_[i];
+
+    isa::DynInst d;
+    d.seq = i;
+    d.pc = t.pc_[i];
+    d.op = static_cast<isa::Opcode>(t.op_[i]);
+    d.cls = static_cast<isa::OpClass>(t.cls_[i]);
+    d.numSrcs = flags & num_srcs_mask;
+    d.srcs = {t.srcs_[3 * i], t.srcs_[3 * i + 1], t.srcs_[3 * i + 2]};
+    d.dest = t.dest_[i];
+    d.isLoad = flags & f_load;
+    d.isStore = flags & f_store;
+    d.size = size_table[(flags >> size_code_shift) & size_code_mask];
+    d.addrSrc = t.addrSrc_[i];
+    d.branch = flags & f_branch;
+    d.taken = flags & f_taken;
+    d.tableId = t.tableId_[i];
+    d.aliased = flags & f_aliased;
+
+    if (flags & f_has_addr)
+        d.addr = (flags & f_wide_addr) ? t.addrWide_[addrWidePos++]
+                                       : t.addr32_[addr32Pos++];
+    d.nextPc = (flags & f_next_pc_exc) ? t.nextPcExc_[nextPcPos++]
+                                       : d.pc + 1;
+    if (flags & f_has_result)
+        d.result = t.result_[resultPos++];
+
+    ++index;
+    return d;
+}
+
+} // namespace cryptarch::driver
+
+#endif // CRYPTARCH_DRIVER_PACKED_TRACE_HH

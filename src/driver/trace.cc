@@ -1,6 +1,9 @@
 #include "driver/trace.hh"
 
 #include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace cryptarch::driver
 {
@@ -10,20 +13,34 @@ namespace
 
 std::atomic<uint64_t> functional_runs{0};
 
+/**
+ * First-session instruction-count estimates, keyed by
+ * (cipher, variant). A kernel's dynamic length is linear in its
+ * session bytes, so one observation sizes every later recording's
+ * reserve() and the packed columns never regrow mid-record.
+ */
+std::mutex estimate_mutex;
+std::map<std::pair<int, int>, double> insts_per_byte;
+
 } // namespace
 
 void
 RecordedTrace::replay(isa::TraceSink &sink) const
 {
-    for (const auto &inst : insts)
-        sink.emit(inst);
+    for (auto r = packed.reader(); !r.done();)
+        sink.emit(r.next());
 }
 
 sim::SimStats
 RecordedTrace::replay(const sim::MachineConfig &cfg) const
 {
     sim::OooScheduler sched(cfg);
-    replay(static_cast<isa::TraceSink &>(sched));
+    // Decode straight into the concrete scheduler: the DynInst lives
+    // in a register-resident temporary for exactly one emit.
+    for (auto r = packed.reader(); !r.done();) {
+        isa::DynInst d = r.next();
+        sched.emit(d);
+    }
     return sched.finish();
 }
 
@@ -35,9 +52,26 @@ recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
     auto build = kernels::buildKernel(cipher, variant, w.key, w.iv, bytes);
     isa::Machine m;
     build.install(m, kernels::toWordImage(cipher, w.plaintext));
+
     RecordedTrace trace;
+    const auto key = std::make_pair(static_cast<int>(cipher),
+                                    static_cast<int>(variant));
+    {
+        std::lock_guard<std::mutex> lock(estimate_mutex);
+        auto it = insts_per_byte.find(key);
+        if (it != insts_per_byte.end())
+            trace.reserveInsts(
+                static_cast<size_t>(it->second * bytes) + 64);
+    }
+
     m.run(build.program, &trace, 1ull << 32);
     functional_runs.fetch_add(1, std::memory_order_relaxed);
+
+    if (bytes > 0) {
+        std::lock_guard<std::mutex> lock(estimate_mutex);
+        insts_per_byte[key] =
+            static_cast<double>(trace.instructions()) / bytes;
+    }
     return trace;
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "driver/packed_trace.hh"
 #include "driver/workload.hh"
 #include "isa/machine.hh"
 #include "kernels/kernel.hh"
@@ -27,14 +28,20 @@
 namespace cryptarch::driver
 {
 
-/** A captured dynamic instruction stream. */
+/**
+ * A captured dynamic instruction stream, stored packed (see
+ * packed_trace.hh: 14 fixed bytes per instruction plus side tables,
+ * vs. 56 bytes for a raw isa::DynInst). Result values are dropped at
+ * record time — no timing model reads them, and the value-prediction
+ * studies attach their sinks live to the Machine instead of replaying.
+ */
 class RecordedTrace : public isa::TraceSink
 {
   public:
     void
     emit(const isa::DynInst &inst) override
     {
-        insts.push_back(inst);
+        packed.append(inst, /*keepResult=*/false);
     }
 
     /** Feed the captured stream, in order, into any sink. */
@@ -44,14 +51,21 @@ class RecordedTrace : public isa::TraceSink
     sim::SimStats replay(const sim::MachineConfig &cfg) const;
 
     /** Dynamic instruction count (the 1-CPI machine's cycle count). */
-    uint64_t instructions() const { return insts.size(); }
+    uint64_t instructions() const { return packed.size(); }
 
-    bool empty() const { return insts.empty(); }
+    bool empty() const { return packed.empty(); }
 
-    const std::vector<isa::DynInst> &stream() const { return insts; }
+    /** Bytes held by the packed encoding (fixed columns + tables). */
+    size_t packedBytes() const { return packed.packedBytes(); }
+
+    /** Pre-size the encoding for an expected instruction count. */
+    void reserveInsts(size_t n) { packed.reserve(n); }
+
+    /** The underlying encoding; decode through a Reader cursor. */
+    const PackedTrace &stream() const { return packed; }
 
   private:
-    std::vector<isa::DynInst> insts;
+    PackedTrace packed;
 };
 
 /**

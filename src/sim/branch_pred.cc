@@ -6,13 +6,18 @@ namespace cryptarch::sim
 BranchPredictor::BranchPredictor(unsigned entries)
     : table(entries ? entries : 1, 2) // weakly taken
 {
+    // The usual table sizes are powers of two; index with a mask then
+    // (a modulo per conditional branch shows up in replay profiles).
+    if ((table.size() & (table.size() - 1)) == 0)
+        indexMask = static_cast<uint32_t>(table.size() - 1);
 }
 
 bool
 BranchPredictor::predict(uint32_t pc, bool taken)
 {
     numLookups++;
-    uint8_t &ctr = table[pc % table.size()];
+    uint8_t &ctr =
+        table[indexMask ? pc & indexMask : pc % table.size()];
     bool prediction = ctr >= 2;
     if (taken) {
         if (ctr < 3)

@@ -43,6 +43,7 @@ class BranchPredictor
 
   private:
     std::vector<uint8_t> table; ///< 2-bit counters, initialized weakly taken
+    uint32_t indexMask = 0;     ///< size-1 when the table is a power of two
     uint64_t numLookups = 0;
     uint64_t numMispredicts = 0;
 };

@@ -12,6 +12,12 @@ Cache::Cache(const CacheGeometry &geom)
     assert(geom.sizeBytes % (geom.blockBytes * geom.assoc) == 0);
     numSets = geom.sizeBytes / (geom.blockBytes * geom.assoc);
     lines.resize(static_cast<size_t>(numSets) * assoc);
+    if (blockBytes && (blockBytes & (blockBytes - 1)) == 0) {
+        blockShift = 0;
+        while ((1u << blockShift) != blockBytes)
+            blockShift++;
+    }
+    setsPow2 = numSets && (numSets & (numSets - 1)) == 0;
 }
 
 bool
@@ -19,7 +25,7 @@ Cache::access(uint64_t addr)
 {
     stat.accesses++;
     uint64_t block = blockOf(addr);
-    uint32_t set = block % numSets;
+    uint32_t set = setOf(block);
     Line *ways = &lines[static_cast<size_t>(set) * assoc];
     stamp++;
     for (uint32_t w = 0; w < assoc; w++) {
@@ -51,7 +57,7 @@ Cache::prefetch(uint64_t addr)
     if (contains(addr))
         return;
     uint64_t block = blockOf(addr);
-    uint32_t set = block % numSets;
+    uint32_t set = setOf(block);
     Line *ways = &lines[static_cast<size_t>(set) * assoc];
     stamp++;
     Line *victim = &ways[0];
@@ -71,8 +77,8 @@ Cache::prefetch(uint64_t addr)
 bool
 Cache::contains(uint64_t addr) const
 {
-    uint64_t block = addr / blockBytes;
-    uint32_t set = block % numSets;
+    uint64_t block = blockOf(addr);
+    uint32_t set = setOf(block);
     const Line *ways = &lines[static_cast<size_t>(set) * assoc];
     for (uint32_t w = 0; w < assoc; w++) {
         if (ways[w].valid && ways[w].tag == block)

@@ -57,11 +57,26 @@ class Cache
         uint64_t lruStamp = 0;
     };
 
-    uint64_t blockOf(uint64_t addr) const { return addr / blockBytes; }
+    // Block/set math runs on every simulated memory access, so the
+    // usual power-of-two geometries use precomputed shift/mask forms
+    // instead of a divide and a modulo per probe.
+    uint64_t
+    blockOf(uint64_t addr) const
+    {
+        return blockShift >= 0 ? addr >> blockShift : addr / blockBytes;
+    }
+
+    uint32_t
+    setOf(uint64_t block) const
+    {
+        return setsPow2 ? block & (numSets - 1) : block % numSets;
+    }
 
     uint32_t blockBytes;
     uint32_t numSets;
     uint32_t assoc;
+    int blockShift = -1; ///< log2(blockBytes) when a power of two
+    bool setsPow2 = false;
     std::vector<Line> lines; ///< numSets x assoc
     uint64_t stamp = 0;
     CacheStats stat;

@@ -1,6 +1,7 @@
 #include "sim/pipeline.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace cryptarch::sim
 {
@@ -20,6 +21,10 @@ OooScheduler::OooScheduler(const MachineConfig &config)
         sboxCaches.resize(cfg.numSboxCaches);
         for (unsigned i = 0; i < cfg.numSboxCaches; i++)
             sboxPorts.emplace_back(cfg.sboxCachePorts);
+        // Table-to-cache selection runs per SBOX read; for the usual
+        // power-of-two cache counts replace the modulo with a mask.
+        if ((cfg.numSboxCaches & (cfg.numSboxCaches - 1)) == 0)
+            sboxIndexMask = cfg.numSboxCaches - 1;
     }
 }
 
@@ -45,7 +50,8 @@ OooScheduler::fetchOf(const DynInst &inst)
 
 Cycle
 OooScheduler::issueOf(const DynInst &inst, Cycle ready, unsigned &lat,
-                      unsigned &memExtra, StallVector &stall)
+                      unsigned &memExtra, StallVector &stall,
+                      unsigned &touched)
 {
     // Select the operation's functional unit pool, unit count, base
     // latency, and the stall cause its contention is charged to.
@@ -109,7 +115,9 @@ OooScheduler::issueOf(const DynInst &inst, Cycle ready, unsigned &lat,
             lat = cfg.sboxCacheLat;
             fu = nullptr;
         } else if (!sboxCaches.empty()) {
-            unsigned which = inst.tableId % sboxCaches.size();
+            unsigned which = sboxIndexMask
+                ? inst.tableId & sboxIndexMask
+                : inst.tableId % static_cast<unsigned>(sboxCaches.size());
             bool hit = sboxCaches[which].access(inst.addr & ~0x3FFull,
                                                 inst.addr & 0x3FF);
             if (hit) {
@@ -139,25 +147,51 @@ OooScheduler::issueOf(const DynInst &inst, Cycle ready, unsigned &lat,
     }
 
     // Find the first cycle with both an issue slot and a unit. Both
-    // are reserved jointly through the single-lookup tryBook path;
-    // every cycle that loses the race is charged to the constraint
-    // that lost it (the issue slot first — without one the unit is
-    // unreachable regardless).
+    // are reserved jointly; every cycle that loses the race is charged
+    // to the constraint that lost it (the issue slot first — without
+    // one the unit is unreachable regardless). nextFree() walks the
+    // issue ring directly, so a run of slot-full cycles costs one
+    // array scan instead of a lookup per losing cycle.
+    // The two causes this loop can charge accumulate in locals and
+    // are stored once on exit: every stall slot is written at most
+    // once per instruction, which is what lets emit() leave the
+    // vector uninitialized outside recorded-timeline windows.
     Cycle cycle = ready;
+    uint64_t slotWait = 0;
+    uint64_t fuWait = 0;
+    Cycle slotAt;
     while (true) {
-        if (!issueSlots.tryBook(cycle)) {
-            stall[static_cast<size_t>(StallCause::IssueSlot)]++;
-            cycle++;
-            continue;
-        }
-        if (fu && !fu->tryBook(cycle, units)) {
-            issueSlots.unbook(cycle);
-            stall[static_cast<size_t>(fuCause)]++;
-            cycle++;
-            continue;
-        }
-        return cycle;
+        slotAt = issueSlots.nextFree(cycle);
+        slotWait += slotAt - cycle;
+        issueSlots.bookProbed(slotAt);
+        if (!fu || fu->tryBook(slotAt, units))
+            break;
+        issueSlots.unbook(slotAt);
+        fuWait++;
+        cycle = slotAt + 1;
     }
+    if (slotWait) {
+        stall[static_cast<size_t>(StallCause::IssueSlot)] = slotWait;
+        touched |= 1u << static_cast<size_t>(StallCause::IssueSlot);
+    }
+    if (fuWait) {
+        stall[static_cast<size_t>(fuCause)] = fuWait;
+        touched |= 1u << static_cast<size_t>(fuCause);
+    }
+    return slotAt;
+}
+
+void
+OooScheduler::pruneResources(Cycle horizon)
+{
+    issueSlots.retireBefore(horizon);
+    retireSlots.retireBefore(horizon);
+    aluUnits.retireBefore(horizon);
+    rotUnits.retireBefore(horizon);
+    mulSlots.retireBefore(horizon);
+    dcachePorts.retireBefore(horizon);
+    for (auto &p : sboxPorts)
+        p.retireBefore(horizon);
 }
 
 void
@@ -176,8 +210,15 @@ OooScheduler::emit(const DynInst &inst)
     Cycle fetch = fetchOf(inst);
 
     // Per-instruction stall breakdown, accumulated into SimStats and
-    // (inside the recorded window) the timeline entry.
-    StallVector stall{};
+    // (inside the recorded window) the timeline entry. `touched` keeps
+    // one bit per cause that was charged; every charged slot is
+    // written exactly once, so the vector itself stays uninitialized —
+    // except when a timeline window is recording, whose entries copy
+    // the whole array and need the untouched slots zeroed.
+    StallVector stall;
+    unsigned touched = 0;
+    if (timelineCount)
+        stall.fill(0);
 
     // ----- operand / ordering readiness constraints (raw) -----
     // Track each gating constraint separately so the binding one (the
@@ -226,15 +267,17 @@ OooScheduler::emit(const DynInst &inst)
         Cycle covered = std::max({readyOp, readyAlias, readySync,
                                   lastDispatch});
         if (cfg.windowSize != unlimited)
-            covered = std::max(covered,
-                               retireRing[instIndex % cfg.windowSize]);
-        if (dispatch > covered)
-            stall[static_cast<size_t>(StallCause::FetchRedirect)] +=
+            covered = std::max(covered, retireRing[ringPos]);
+        if (dispatch > covered) {
+            stall[static_cast<size_t>(StallCause::FetchRedirect)] =
                 std::min<Cycle>(pendingRedirectStall, dispatch - covered);
+            touched |=
+                1u << static_cast<size_t>(StallCause::FetchRedirect);
+        }
         pendingRedirectStall = 0;
     }
     if (cfg.windowSize != unlimited) {
-        Cycle freed = retireRing[instIndex % cfg.windowSize];
+        Cycle freed = retireRing[ringPos];
         if (freed > dispatch) {
             // Charge the window only for delay beyond every other
             // readiness constraint (an instruction held by the window
@@ -249,9 +292,12 @@ OooScheduler::emit(const DynInst &inst)
             // far ahead) and drown every real cause.
             Cycle covered = std::max(
                 {dispatch, readyOp, readyAlias, readySync, lastDispatch});
-            if (freed > covered)
-                stall[static_cast<size_t>(StallCause::WindowFull)] +=
+            if (freed > covered) {
+                stall[static_cast<size_t>(StallCause::WindowFull)] =
                     freed - covered;
+                touched |=
+                    1u << static_cast<size_t>(StallCause::WindowFull);
+            }
             dispatch = freed;
         }
     }
@@ -268,27 +314,37 @@ OooScheduler::emit(const DynInst &inst)
         // dependence that merely ties them would not have issued any
         // earlier without them either.
         if (readyAlias == ready && readyAlias > dispatch) {
-            stall[static_cast<size_t>(StallCause::StoreAlias)] += wait;
+            stall[static_cast<size_t>(StallCause::StoreAlias)] = wait;
+            touched |= 1u << static_cast<size_t>(StallCause::StoreAlias);
         } else if (readySync == ready && readySync > dispatch) {
-            stall[static_cast<size_t>(StallCause::SboxVisibility)] += wait;
+            stall[static_cast<size_t>(StallCause::SboxVisibility)] = wait;
+            touched |=
+                1u << static_cast<size_t>(StallCause::SboxVisibility);
         } else {
             // An operand wait; the part covered by the producer's
             // memory-hierarchy extra latency is the DF+Mem cost.
             uint64_t memPart = std::min<uint64_t>(wait, bindMemExtra);
-            stall[static_cast<size_t>(StallCause::MemLatency)] += memPart;
-            stall[static_cast<size_t>(StallCause::Operand)] +=
+            stall[static_cast<size_t>(StallCause::MemLatency)] = memPart;
+            stall[static_cast<size_t>(StallCause::Operand)] =
                 wait - memPart;
+            // A zero slot here just adds 0 in the accumulation pass.
+            touched |= 1u << static_cast<size_t>(StallCause::MemLatency)
+                     | 1u << static_cast<size_t>(StallCause::Operand);
         }
     }
 
     // ----- issue + latency -----
     unsigned lat = 0;
     unsigned memExtra = 0;
-    Cycle issue = issueOf(inst, ready, lat, memExtra, stall);
+    Cycle issue = issueOf(inst, ready, lat, memExtra, stall, touched);
     Cycle complete = issue + lat;
     maxComplete = std::max(maxComplete, complete);
 
-    for (size_t c = 0; c < num_stall_causes; c++) {
+    // Most instructions stall for at most one or two causes; walk the
+    // touched-cause bits instead of all num_stall_causes slots.
+    for (unsigned m = touched; m;) {
+        unsigned c = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
         stats.stallCycles[c] += stall[c];
         stats.stallByClass[static_cast<size_t>(inst.cls)][c] += stall[c];
     }
@@ -345,28 +401,26 @@ OooScheduler::emit(const DynInst &inst)
     retire = retireSlots.reserve(retire);
     lastRetire = retire;
 
-    if (inst.seq >= timelineFirst
-        && inst.seq < timelineFirst + timelineCount) {
+    // One unsigned compare covers both window bounds (seq below
+    // timelineFirst wraps past any count).
+    if (inst.seq - timelineFirst < timelineCount) {
         timeline.push_back({inst.seq, inst.pc, inst.op, fetch, dispatch,
                             ready, issue, complete, retire, stall});
     }
-    if (cfg.windowSize != unlimited)
-        retireRing[instIndex % cfg.windowSize] = retire;
+    // The ring cursor tracks instIndex % windowSize without paying a
+    // division per instruction; slot ringPos holds the retire cycle
+    // of instruction instIndex - windowSize (the window's oldest).
+    if (cfg.windowSize != unlimited) {
+        retireRing[ringPos] = retire;
+        if (++ringPos == retireRing.size())
+            ringPos = 0;
+    }
     instIndex++;
 
-    // Prune resource maps behind the retirement frontier.
+    // Prune resource rings behind the retirement frontier.
     if ((instIndex & 0xFFF) == 0) {
-        Cycle horizon = cfg.windowSize != unlimited
-            ? retireRing[instIndex % cfg.windowSize]
-            : lastRetire;
-        issueSlots.retireBefore(horizon);
-        retireSlots.retireBefore(horizon);
-        aluUnits.retireBefore(horizon);
-        rotUnits.retireBefore(horizon);
-        mulSlots.retireBefore(horizon);
-        dcachePorts.retireBefore(horizon);
-        for (auto &p : sboxPorts)
-            p.retireBefore(horizon);
+        pruneResources(cfg.windowSize != unlimited ? retireRing[ringPos]
+                                                   : lastRetire);
     }
 }
 

@@ -120,8 +120,9 @@ struct TimelineEntry
     StallVector stall{};
 };
 
-/** Trace-driven out-of-order core model. */
-class OooScheduler : public isa::TraceSink
+/** Trace-driven out-of-order core model. `final` lets the replay hot
+ *  loop devirtualize emit() when feeding a concrete scheduler. */
+class OooScheduler final : public isa::TraceSink
 {
   public:
     explicit OooScheduler(const MachineConfig &config);
@@ -140,7 +141,13 @@ class OooScheduler : public isa::TraceSink
     {
         timelineFirst = first;
         timelineCount = count;
-        timeline.reserve(std::min<uint64_t>(count, 4096));
+        // Reserve the full window up front so a pipeline_view run
+        // never regrows the timeline mid-emit (allocation jitter would
+        // sit right on the simulated hot path it is visualizing).
+        // Callers may pass a huge count as a "rest of the run"
+        // sentinel, so cap the eager reservation at 1M entries; longer
+        // windows fall back to amortized growth past that point.
+        timeline.reserve(count < (1u << 20) ? count : (1u << 20));
     }
 
     const std::vector<TimelineEntry> &timelineEntries() const
@@ -156,10 +163,15 @@ class OooScheduler : public isa::TraceSink
      * sets @p lat to the operation latency and @p memExtra to the
      * memory-hierarchy portion of it (cycles beyond a hit). Every
      * probed cycle that loses the joint reservation race is charged
-     * to the losing constraint in @p stall.
+     * to the losing constraint in @p stall, with the cause's bit set
+     * in @p touched (emit()'s accumulation pass walks only those).
      */
     Cycle issueOf(const isa::DynInst &inst, Cycle ready, unsigned &lat,
-                  unsigned &memExtra, StallVector &stall);
+                  unsigned &memExtra, StallVector &stall,
+                  unsigned &touched);
+    /** Single prune entry point: drop bookkeeping below @p horizon in
+     *  every per-cycle resource, the SBox-cache ports included. */
+    void pruneResources(Cycle horizon);
 
     MachineConfig cfg;
     SimStats stats;
@@ -192,10 +204,16 @@ class OooScheduler : public isa::TraceSink
     CycleResource mulSlots;
     CycleResource dcachePorts;
     std::vector<CycleResource> sboxPorts;
+    // sboxCaches.size()-1 when that is a power of two: table-to-cache
+    // selection by mask instead of a modulo per SBOX read.
+    unsigned sboxIndexMask = 0;
 
     // Window occupancy ring: retire cycle of instruction i - windowSize.
     std::vector<Cycle> retireRing;
     uint64_t instIndex = 0;
+    // Cursor into retireRing == instIndex % windowSize, maintained
+    // incrementally (a modulo per emitted instruction is measurable).
+    size_t ringPos = 0;
     Cycle lastRetire = 0;
     Cycle maxComplete = 0;
     // Dispatch frontier (dispatch is in order): used to charge each

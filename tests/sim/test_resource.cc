@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Differential verification of the ring-buffer CycleResource against
+ * the original unordered_map implementation (cycle_resource_ref.hh).
+ *
+ * The ring claims bit-identical behavior including the reference's
+ * quirks — probe-created entries, the >= 4096-entry erase gate, and
+ * phantom capacity on probes below an erased horizon — so the property
+ * test drives both through long random op sequences (booking walks,
+ * joint tryBook/unbook reservations, horizon prunes, deliberate
+ * below-horizon probes) and demands every return value and the live
+ * entry count agree at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cycle_resource_ref.hh"
+#include "sim/resource.hh"
+
+namespace
+{
+
+using cryptarch::sim::Cycle;
+using cryptarch::sim::CycleResource;
+using cryptarch::tests::CycleResourceRef;
+
+TEST(CycleResourceRing, NextFreeSkipsFullCycles)
+{
+    CycleResource res(2);
+    res.book(10, 2);
+    res.book(11, 1);
+    EXPECT_EQ(res.nextFree(10), 11u);     // cycle 10 full, 11 has room
+    EXPECT_EQ(res.nextFree(10, 2), 12u);  // 2 units skip 10 and 11
+    EXPECT_EQ(res.nextFree(12), 12u);     // past every booking: free
+}
+
+TEST(CycleResourceRing, NextFreeDoesNotBook)
+{
+    CycleResource res(1);
+    EXPECT_EQ(res.nextFree(5), 5u);
+    EXPECT_EQ(res.nextFree(5), 5u);
+    EXPECT_TRUE(res.canReserve(5));
+}
+
+TEST(CycleResourceRing, ReserveIsNextFreePlusBook)
+{
+    CycleResource res(1);
+    EXPECT_EQ(res.reserve(7), 7u);
+    EXPECT_EQ(res.reserve(7), 8u);
+    EXPECT_EQ(res.reserve(0), 0u); // below every booking: free
+}
+
+TEST(CycleResourceRing, WindowSlidesAndRegrowsDownward)
+{
+    CycleResource res(1);
+    // March far enough forward that the window must slide many times.
+    for (Cycle c = 0; c < 100000; c += 97)
+        EXPECT_EQ(res.reserve(c), c);
+    // A probe far below the window base must still see those bookings.
+    EXPECT_FALSE(res.canReserve(0));
+    EXPECT_EQ(res.reserve(1), 1u);
+    EXPECT_FALSE(res.canReserve(1));
+}
+
+TEST(CycleResourceRing, UnlimitedTracksNothing)
+{
+    CycleResource res(0);
+    EXPECT_EQ(res.reserve(42, 100), 42u);
+    EXPECT_EQ(res.nextFree(42), 42u);
+    EXPECT_TRUE(res.canReserve(42, 1000));
+    EXPECT_EQ(res.entryCount(), 0u);
+    EXPECT_FALSE(res.limited());
+}
+
+/**
+ * One random differential episode: identical op streams into the ring
+ * and the reference, comparing every observable result. The cycle
+ * cursor random-walks forward (like issue frontiers do), with a slice
+ * of probes aimed below the last prune horizon to exercise the erased
+ * region, and prunes sized to cross the 4096-entry gate.
+ */
+void
+differentialEpisode(unsigned cap, uint32_t seed, int ops)
+{
+    std::mt19937 rng(seed);
+    CycleResource ring(cap);
+    CycleResourceRef ref(cap);
+
+    Cycle cursor = 0;
+    Cycle horizon = 0;
+    const unsigned maxUnits = cap == 0 ? 4 : cap;
+
+    auto pickCycle = [&]() -> Cycle {
+        unsigned kind = rng() % 10;
+        if (kind == 0 && horizon > 0)
+            return rng() % horizon; // below the pruned horizon
+        if (kind <= 4)
+            return cursor + rng() % 4; // near the frontier
+        cursor += rng() % 3;
+        return cursor;
+    };
+
+    for (int i = 0; i < ops; i++) {
+        unsigned units = 1 + rng() % maxUnits;
+        Cycle cycle = pickCycle();
+        switch (rng() % 6) {
+        case 0:
+            ASSERT_EQ(ring.reserve(cycle, units), ref.reserve(cycle, units))
+                << "reserve(" << cycle << ", " << units << ") op " << i;
+            break;
+        case 1:
+            ASSERT_EQ(ring.nextFree(cycle, units),
+                      ref.nextFree(cycle, units))
+                << "nextFree(" << cycle << ", " << units << ") op " << i;
+            break;
+        case 2:
+            ASSERT_EQ(ring.canReserve(cycle, units),
+                      ref.canReserve(cycle, units))
+                << "canReserve(" << cycle << ", " << units << ") op " << i;
+            break;
+        case 3: {
+            // Joint reservation: tryBook, then roll back half the time
+            // (exactly the scheduler's slot+FU pattern).
+            bool a = ring.tryBook(cycle, units);
+            bool b = ref.tryBook(cycle, units);
+            ASSERT_EQ(a, b)
+                << "tryBook(" << cycle << ", " << units << ") op " << i;
+            if (a && rng() % 2) {
+                ring.unbook(cycle, units);
+                ref.unbook(cycle, units);
+            }
+            break;
+        }
+        case 4:
+            ring.book(cycle, units);
+            ref.book(cycle, units);
+            break;
+        case 5:
+            horizon = cursor > 5 ? cursor - rng() % 5 : cursor;
+            ring.retireBefore(horizon);
+            ref.retireBefore(horizon);
+            break;
+        }
+        ASSERT_EQ(ring.entryCount(), ref.entryCount()) << "op " << i;
+    }
+}
+
+TEST(CycleResourceDifferential, RandomOpsMatchReference)
+{
+    for (unsigned cap : {1u, 2u, 3u, 4u, 8u})
+        differentialEpisode(cap, 0xC0FFEE + cap, 20000);
+}
+
+TEST(CycleResourceDifferential, UnlimitedMatchesReference)
+{
+    differentialEpisode(0, 0xDECAF, 5000);
+}
+
+TEST(CycleResourceDifferential, EraseGateAndPhantomCapacity)
+{
+    // Deterministically cross the 4096-entry gate, prune, and verify
+    // both implementations agree that erased cycles read as free
+    // again (the phantom capacity the Figure 5 models rely on).
+    CycleResource ring(1);
+    CycleResourceRef ref(1);
+    for (Cycle c = 0; c < 5000; c++) {
+        ASSERT_EQ(ring.reserve(c), ref.reserve(c));
+    }
+    ASSERT_EQ(ring.entryCount(), 5000u);
+    ring.retireBefore(4500);
+    ref.retireBefore(4500);
+    ASSERT_EQ(ring.entryCount(), ref.entryCount());
+    ASSERT_EQ(ring.entryCount(), 500u);
+    for (Cycle c : {0ull, 100ull, 4499ull}) {
+        ASSERT_EQ(ring.canReserve(c), ref.canReserve(c)) << c;
+        ASSERT_TRUE(ring.canReserve(c)) << c; // erased => free again
+        ASSERT_EQ(ring.reserve(c), ref.reserve(c)) << c;
+    }
+    for (Cycle c : {4500ull, 4999ull}) {
+        ASSERT_EQ(ring.canReserve(c), ref.canReserve(c)) << c;
+        ASSERT_FALSE(ring.canReserve(c)) << c; // survived the prune
+    }
+}
+
+TEST(CycleResourceDifferential, BelowGateNothingIsErased)
+{
+    CycleResource ring(1);
+    CycleResourceRef ref(1);
+    for (Cycle c = 0; c < 1000; c++)
+        ASSERT_EQ(ring.reserve(c), ref.reserve(c));
+    ring.retireBefore(1000);
+    ref.retireBefore(1000);
+    ASSERT_EQ(ring.entryCount(), ref.entryCount());
+    ASSERT_EQ(ring.entryCount(), 1000u); // gate not crossed: no sweep
+    ASSERT_FALSE(ring.canReserve(500));
+}
+
+} // namespace
