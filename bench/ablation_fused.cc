@@ -54,6 +54,10 @@ main()
             results, id, KernelVariant::Optimized, "4W+");
         const auto &fused = driver::findResult(
             results, id, KernelVariant::OptimizedFused, "4W+");
+        if (!opt.ok() || !fused.ok()) {
+            std::printf("%-10s %12s\n", info.name.c_str(), "FAIL");
+            continue;
+        }
         uint64_t oi = opt.stats.instructions;
         uint64_t fi = fused.stats.instructions;
         std::printf("%-10s %12llu %12llu %9.1f%% %12llu %12llu %9.2fx\n",
@@ -78,5 +82,5 @@ main()
         "lookups in parallel. The combining the paper deferred to\n"
         "future work is only worth a third register port on wide "
         "machines\nrunning lookup-parallel ciphers.)\n");
-    return 0;
+    return reportFailedCells(results);
 }

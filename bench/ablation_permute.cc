@@ -57,10 +57,14 @@ main()
         auto build = kernels::buildKernel(id, row.variant, w.key, w.iv,
                                           session_bytes);
         const auto &r = driver::findResult(results, id, row.variant, "4W");
-        std::printf("%-26s %12zu %12llu %12.2f\n", row.label,
+        std::printf("%-26s %12zu %12s %12s\n", row.label,
                     build.program.size(),
-                    static_cast<unsigned long long>(r.stats.cycles),
-                    bytesPerKiloCycle(r.stats.cycles, r.bytes));
+                    gridCell(r.ok(), "%.0f",
+                             static_cast<double>(r.stats.cycles))
+                        .c_str(),
+                    gridCell(r.ok(), "%.2f",
+                             bytesPerKiloCycle(r.stats.cycles, r.bytes))
+                        .c_str());
     }
 
     driver::writeBenchJson("BENCH_ablation_permute.json",
@@ -70,5 +74,5 @@ main()
                 "per block, so throughput differences\nstay small — "
                 "the paper's expectation. Stats: "
                 "BENCH_ablation_permute.json.)\n");
-    return 0;
+    return reportFailedCells(results);
 }

@@ -93,7 +93,11 @@ printSweep(const std::vector<driver::SweepResult> &results,
         for (const auto &cfg : configs) {
             const auto &r = driver::findResult(
                 results, id, KernelVariant::Optimized, cfg.name);
-            std::printf("%9.1f", bytesPerKiloCycle(r.stats.cycles, r.bytes));
+            std::printf("%9s",
+                        gridCell(r.ok(), "%.1f",
+                                 bytesPerKiloCycle(r.stats.cycles,
+                                                   r.bytes))
+                            .c_str());
         }
         std::printf("\n");
     }
@@ -147,5 +151,5 @@ main()
     driver::writeBenchJson("BENCH_ablation_resources.json",
                            "ablation_resources", results);
     std::printf("(Stats: BENCH_ablation_resources.json.)\n");
-    return 0;
+    return reportFailedCells(results);
 }

@@ -80,6 +80,47 @@ allCiphers()
     return driver::allCiphers();
 }
 
+/**
+ * Render one numeric grid cell: @p value formatted with @p fmt when
+ * @p ok, the marker "FAIL" otherwise — failed cells keep the grid's
+ * shape instead of aborting the table.
+ */
+inline std::string
+gridCell(bool ok, const char *fmt, double value)
+{
+    if (!ok)
+        return "FAIL";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return buf;
+}
+
+/**
+ * Print every failed cell of a fail-soft sweep to stderr and return
+ * the bench exit code: 0 for an all-ok grid, 1 otherwise. Benches end
+ * with `return reportFailedCells(results);` so one bad cell fails the
+ * run without suppressing the rest of the grid.
+ */
+inline int
+reportFailedCells(const std::vector<driver::SweepResult> &results)
+{
+    size_t failed = 0;
+    for (const auto &r : results) {
+        if (r.ok())
+            continue;
+        failed++;
+        std::fprintf(stderr, "FAILED cell (%s, %s, %s): [%s] %s\n",
+                     crypto::cipherInfo(r.cipher).name.c_str(),
+                     kernels::variantName(r.variant).c_str(),
+                     r.model.c_str(), driver::cellOutcomeName(r.outcome),
+                     r.message.c_str());
+    }
+    if (failed)
+        std::fprintf(stderr, "%zu of %zu cells failed\n", failed,
+                     results.size());
+    return failed ? 1 : 0;
+}
+
 } // namespace cryptarch::bench
 
 #endif // CRYPTARCH_BENCH_COMMON_HH

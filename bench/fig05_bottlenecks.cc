@@ -22,6 +22,7 @@
  * bottlenecks, largest for Rijndael and RC4.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/common.hh"
@@ -69,8 +70,13 @@ main()
         std::printf("%-10s", info.name.c_str());
         for (const char *model : models) {
             const auto &s = driver::findResult(results, id, variant, model);
-            std::printf("%8.2f", static_cast<double>(df.stats.cycles)
-                                     / static_cast<double>(s.stats.cycles));
+            std::printf("%8s",
+                        gridCell(df.ok() && s.ok(), "%.2f",
+                                 static_cast<double>(df.stats.cycles)
+                                     / static_cast<double>(
+                                         std::max<uint64_t>(
+                                             s.stats.cycles, 1)))
+                            .c_str());
         }
         std::printf("\n");
     }
@@ -103,7 +109,12 @@ main()
                 "----------------------");
     for (auto id : allCiphers()) {
         const auto &info = crypto::cipherInfo(id);
-        const auto &s = driver::findResult(results, id, variant, "4W").stats;
+        const auto &r4 = driver::findResult(results, id, variant, "4W");
+        if (!r4.ok()) {
+            std::printf("%-10s%8s\n", info.name.c_str(), "FAIL");
+            continue;
+        }
+        const auto &s = r4.stats;
         uint64_t total = s.totalStallCycles();
         double denom = total ? static_cast<double>(total) : 1.0;
         auto pct = [&](std::initializer_list<StallCause> causes) {
@@ -131,5 +142,5 @@ main()
     std::printf("\n(1.00 = dataflow speed; lower = that bottleneck "
                 "alone costs performance.\nPer-model stats: "
                 "BENCH_fig05.json.)\n");
-    return 0;
+    return reportFailedCells(results);
 }

@@ -21,6 +21,7 @@
  * model in parallel. Per-model SimStats: BENCH_fig10.json.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -48,25 +49,37 @@ main()
     int n = 0;
     for (auto id : allCiphers()) {
         const auto &info = crypto::cipherInfo(id);
-        auto cycles = [&](KernelVariant v, const char *model) {
-            return static_cast<double>(
-                driver::findResult(results, id, v, model).stats.cycles);
+        auto cell = [&](KernelVariant v,
+                        const char *model) -> const driver::SweepResult & {
+            return driver::findResult(results, id, v, model);
         };
-        double b = cycles(KernelVariant::BaselineRot, "4W");
-        double orig = cycles(KernelVariant::BaselineNoRot, "4W");
-        double opt4 = cycles(KernelVariant::Optimized, "4W");
-        double opt4p = cycles(KernelVariant::Optimized, "4W+");
-        double opt8 = cycles(KernelVariant::Optimized, "8W+");
-        double optdf = cycles(KernelVariant::Optimized, "DF");
-        std::printf("%-10s %9.2f %9.2f %9.2f %9.2f %9.2f\n",
-                    info.name.c_str(), b / orig, b / opt4, b / opt4p,
-                    b / opt8, b / optdf);
-        prod_opt4 *= b / opt4;
-        prod_orig *= b / orig;
-        n++;
+        const auto &base = cell(KernelVariant::BaselineRot, "4W");
+        const auto &orig = cell(KernelVariant::BaselineNoRot, "4W");
+        const auto &opt4 = cell(KernelVariant::Optimized, "4W");
+        const auto &opt4p = cell(KernelVariant::Optimized, "4W+");
+        const auto &opt8 = cell(KernelVariant::Optimized, "8W+");
+        const auto &optdf = cell(KernelVariant::Optimized, "DF");
+        const double b = static_cast<double>(base.stats.cycles);
+        auto speedup = [&](const driver::SweepResult &r) {
+            return gridCell(base.ok() && r.ok(), "%.2f",
+                            b / static_cast<double>(
+                                std::max<uint64_t>(r.stats.cycles, 1)));
+        };
+        std::printf("%-10s %9s %9s %9s %9s %9s\n", info.name.c_str(),
+                    speedup(orig).c_str(), speedup(opt4).c_str(),
+                    speedup(opt4p).c_str(), speedup(opt8).c_str(),
+                    speedup(optdf).c_str());
+        // The geomean covers the ciphers whose cells all produced
+        // stats; a failed cell drops its cipher rather than poisoning
+        // the summary.
+        if (base.ok() && orig.ok() && opt4.ok()) {
+            prod_opt4 *= b / static_cast<double>(opt4.stats.cycles);
+            prod_orig *= b / static_cast<double>(orig.stats.cycles);
+            n++;
+        }
     }
-    double gm_opt4 = std::pow(prod_opt4, 1.0 / n);
-    double gm_orig = std::pow(prod_orig, 1.0 / n);
+    double gm_opt4 = n ? std::pow(prod_opt4, 1.0 / n) : 0.0;
+    double gm_orig = n ? std::pow(prod_orig, 1.0 / n) : 1.0;
     std::printf("%.62s\n",
                 "----------------------------------------------------"
                 "----------");
@@ -78,5 +91,5 @@ main()
                 "+74%%). Full per-model stats:\nBENCH_fig10.json.\n",
                 100.0 * (gm_opt4 - 1.0),
                 100.0 * (gm_opt4 / gm_orig - 1.0));
-    return 0;
+    return reportFailedCells(results);
 }

@@ -16,7 +16,7 @@
  * Trace footprint is reported both packed (what replay streams today)
  * and as the equivalent raw DynInst bytes, so the encoding's win is
  * visible in the artifact. Results go to BENCH_simspeed.json (schema
- * 2, with host-timing extras per result).
+ * 3, with host-timing extras per result).
  *
  * Usage: simspeed [--quick]
  *   --quick  CI smoke mode: fewer cells, smaller time budget.

@@ -112,26 +112,34 @@ main()
         for (const auto &m : models) {
             const auto &r = cryptarch::driver::findResult(
                 results, id, spec.variants[0], m.name);
-            std::printf("%10.1f",
-                        bytesPerKiloCycle(r.stats.cycles, r.bytes));
+            std::printf("%10s",
+                        gridCell(r.ok(), "%.1f",
+                                 bytesPerKiloCycle(r.stats.cycles,
+                                                   r.bytes))
+                            .c_str());
         }
         std::printf("\n");
     }
 
+    // Geomean over the cells that produced stats; a failed cell drops
+    // out rather than poisoning the column.
     std::printf("%-10s", "gm IPC");
     for (const auto &m : models) {
         double prod = 1.0;
         int n = 0;
         for (const auto &r : results)
-            if (r.model == m.name) {
+            if (r.model == m.name && r.ok()) {
                 prod *= r.stats.ipc();
                 n++;
             }
-        std::printf("%10.2f", std::pow(prod, 1.0 / n));
+        std::printf("%10s",
+                    gridCell(n > 0, "%.2f",
+                             n ? std::pow(prod, 1.0 / n) : 0.0)
+                        .c_str());
     }
     std::printf("\n");
 
     cryptarch::driver::writeBenchJson("BENCH_tab02.json", "tab02", results);
     std::printf("\n(Per-model SimStats: BENCH_tab02.json.)\n");
-    return 0;
+    return reportFailedCells(results);
 }

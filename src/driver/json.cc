@@ -130,13 +130,16 @@ writeBenchJson(const std::string &path, std::string_view bench,
         throw std::runtime_error("cannot write " + path);
 
     out << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
-        << "  \"schema\": 2,\n  \"results\": [\n";
+        << "  \"schema\": 3,\n  \"results\": [\n";
     for (size_t i = 0; i < results.size(); i++) {
         const auto &r = results[i];
         out << "    {\"cipher\": \""
             << escape(crypto::cipherInfo(r.cipher).name) << "\", \"variant\": \""
             << escape(kernels::variantName(r.variant)) << "\", \"model\": \""
-            << escape(r.model) << "\", \"session_bytes\": " << r.bytes;
+            << escape(r.model) << "\", \"session_bytes\": " << r.bytes
+            << ", \"outcome\": \"" << cellOutcomeName(r.outcome) << "\"";
+        if (!r.message.empty())
+            out << ",\n     \"message\": \"" << escape(r.message) << "\"";
         if (i < resultExtras.size() && !resultExtras[i].empty())
             out << ",\n     " << resultExtras[i];
         out << ",\n     \"stats\": " << toJson(r.stats) << "}"

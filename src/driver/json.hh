@@ -4,17 +4,19 @@
  *
  * Every migrated bench emits its full sweep next to the paper-formatted
  * text table, so regenerated figures are diffable and downstream
- * tooling never has to scrape printf output. Schema (version 2):
+ * tooling never has to scrape printf output. Schema (version 3):
  *
  *   {
  *     "bench": "<figure/table id>",
- *     "schema": 2,
+ *     "schema": 3,
  *     "results": [
  *       {
  *         "cipher": "RC4",
  *         "variant": "BaselineRot",
  *         "model": "4W",
  *         "session_bytes": 4096,
+ *         "outcome": "ok" | "trapped" | "verify_failed" | "error",
+ *         "message": "<error what(), present only on failed cells>",
  *         "stats": {
  *           "instructions": N, "cycles": N, "ipc": x,
  *           "cond_branches": N, "mispredicts": N,
@@ -37,7 +39,9 @@
  * Schema history: v2 added the SBox-cache access/miss totals, named
  * per-OpClass class_counts (v1 emitted an anonymous array that could
  * silently desynchronize from the enum) and the stall-attribution
- * counters.
+ * counters. v3 added the fail-soft cell "outcome" (with "message" on
+ * failed cells); failed cells keep their coordinates but carry zeroed
+ * stats.
  */
 
 #ifndef CRYPTARCH_DRIVER_JSON_HH

@@ -8,18 +8,74 @@
 #include <thread>
 #include <tuple>
 
+#include "isa/trap.hh"
+#include "verify/oracle.hh"
+
 namespace cryptarch::driver
 {
+
+const char *
+cellOutcomeName(CellOutcome outcome)
+{
+    switch (outcome) {
+      case CellOutcome::Ok: return "ok";
+      case CellOutcome::Trapped: return "trapped";
+      case CellOutcome::VerifyFailed: return "verify_failed";
+      case CellOutcome::Error: return "error";
+    }
+    return "?";
+}
 
 namespace
 {
 
-/** Cells sharing a kernel share one lazily recorded trace. */
+/**
+ * Cells sharing a kernel share one lazily recorded trace — or one
+ * cached recording failure, so a kernel that traps or fails the oracle
+ * is still interpreted exactly once, not once per model.
+ */
 struct TraceGroup
 {
     std::once_flag once;
     RecordedTrace trace;
+    std::exception_ptr recordError;
 };
+
+/** Fill outcome/message from the exception behind @p ep. */
+void
+classifyFailure(SweepResult &r, std::exception_ptr ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const isa::Trap &t) {
+        r.outcome = CellOutcome::Trapped;
+        r.message = t.what();
+    } catch (const verify::VerifyError &e) {
+        r.outcome = CellOutcome::VerifyFailed;
+        r.message = e.what();
+    } catch (const std::exception &e) {
+        r.outcome = CellOutcome::Error;
+        r.message = e.what();
+    } catch (...) {
+        r.outcome = CellOutcome::Error;
+        r.message = "unknown error";
+    }
+}
+
+/** Deterministic failures are not worth a second functional run. */
+bool
+isDeterministicFailure(std::exception_ptr ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const isa::Trap &) {
+        return true;
+    } catch (const verify::VerifyError &) {
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
 
 using GroupKey = std::tuple<crypto::CipherId, kernels::KernelVariant, size_t>;
 
@@ -48,36 +104,51 @@ runCells(const std::vector<SweepCell> &cells, unsigned threads)
     }
 
     std::atomic<size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex errorMutex;
 
     auto worker = [&]() {
-        while (!failed.load(std::memory_order_relaxed)) {
+        for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= cells.size())
                 return;
             const SweepCell &cell = cells[i];
-            try {
-                TraceGroup &group = *groups.at(keyOf(cell));
-                std::call_once(group.once, [&]() {
+            SweepResult r;
+            r.cipher = cell.cipher;
+            r.variant = cell.variant;
+            r.model = cell.model.name;
+            r.bytes = cell.bytes;
+
+            TraceGroup &group = *groups.at(keyOf(cell));
+            std::call_once(group.once, [&]() {
+                try {
                     group.trace = recordKernelTrace(cell.cipher,
                                                     cell.variant,
                                                     cell.bytes);
-                });
-                SweepResult r;
-                r.cipher = cell.cipher;
-                r.variant = cell.variant;
-                r.model = cell.model.name;
-                r.bytes = cell.bytes;
-                r.stats = group.trace.replay(cell.model);
-                results[i] = std::move(r);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (!error)
-                    error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
+                } catch (...) {
+                    group.recordError = std::current_exception();
+                    if (isDeterministicFailure(group.recordError))
+                        return;
+                    // One retry for anything unrecognized (transient
+                    // allocation failure and the like).
+                    try {
+                        group.trace = recordKernelTrace(cell.cipher,
+                                                        cell.variant,
+                                                        cell.bytes);
+                        group.recordError = nullptr;
+                    } catch (...) {
+                        group.recordError = std::current_exception();
+                    }
+                }
+            });
+            if (group.recordError) {
+                classifyFailure(r, group.recordError);
+            } else {
+                try {
+                    r.stats = group.trace.replay(cell.model);
+                } catch (...) {
+                    classifyFailure(r, std::current_exception());
+                }
             }
+            results[i] = std::move(r);
         }
     };
 
@@ -92,8 +163,6 @@ runCells(const std::vector<SweepCell> &cells, unsigned threads)
     for (auto &t : pool)
         t.join();
 
-    if (error)
-        std::rethrow_exception(error);
     return results;
 }
 

@@ -9,6 +9,12 @@
  * results are collected into a vector ordered exactly like the input
  * cells, so output is deterministic regardless of thread count or
  * scheduling.
+ *
+ * Sweeps are fail-soft: one trapping or verify-failing cell does not
+ * abort the grid. Every cell gets a SweepResult with an outcome; the
+ * failing cell carries the error message and zeroed stats, every other
+ * cell its real timing. Bench drivers render partial grids with the
+ * failed cells marked and exit nonzero.
  */
 
 #ifndef CRYPTARCH_DRIVER_SWEEP_HH
@@ -33,6 +39,18 @@ struct SweepCell
     size_t bytes = session_bytes;
 };
 
+/** How a cell's record/replay ended. */
+enum class CellOutcome : uint8_t
+{
+    Ok,           ///< real stats
+    Trapped,      ///< the functional machine raised an isa::Trap
+    VerifyFailed, ///< the record-time oracle rejected the output
+    Error,        ///< anything else (kernel build, bad parameters, ...)
+};
+
+/** Stable outcome name ("ok", "trapped", "verify_failed", "error"). */
+const char *cellOutcomeName(CellOutcome outcome);
+
 /** Timing result of one cell, tagged with its coordinates. */
 struct SweepResult
 {
@@ -41,6 +59,12 @@ struct SweepResult
     std::string model;
     size_t bytes = session_bytes;
     sim::SimStats stats;
+
+    CellOutcome outcome = CellOutcome::Ok;
+    /** The error's what() string; empty when outcome is Ok. */
+    std::string message;
+
+    bool ok() const { return outcome == CellOutcome::Ok; }
 };
 
 /** A dense grid: every cipher x every variant x every model. */
@@ -58,7 +82,11 @@ struct SweepSpec
  * Execute @p cells in parallel on @p threads workers (0 = hardware
  * concurrency). Returns one result per cell, in cell order. Each
  * distinct (cipher, variant, bytes) kernel is functionally interpreted
- * exactly once across the whole call.
+ * exactly once across the whole call — including when recording fails:
+ * traps and oracle rejections are deterministic, so the failure is
+ * cached and fanned out to every cell of the group. Unrecognized
+ * record/replay errors are retried once (transient-failure allowance)
+ * before the cell is marked Error. Never throws for per-cell failures.
  */
 std::vector<SweepResult> runCells(const std::vector<SweepCell> &cells,
                                   unsigned threads = 0);

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <utility>
 
+#include "verify/oracle.hh"
+
 namespace cryptarch::driver
 {
 
@@ -46,12 +48,20 @@ RecordedTrace::replay(const sim::MachineConfig &cfg) const
 
 RecordedTrace
 recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
-                  size_t bytes)
+                  size_t bytes, kernels::KernelDirection direction)
 {
     Workload w = makeWorkload(cipher, bytes);
-    auto build = kernels::buildKernel(cipher, variant, w.key, w.iv, bytes);
+    // Decrypt kernels consume the reference ciphertext of the standard
+    // plaintext, so the oracle below checks round-trip recovery.
+    std::vector<uint8_t> input =
+        direction == kernels::KernelDirection::Encrypt
+            ? w.plaintext
+            : verify::referenceProcess(cipher, w.key, w.iv, w.plaintext,
+                                       kernels::KernelDirection::Encrypt);
+    auto build = kernels::buildKernel(cipher, variant, w.key, w.iv, bytes,
+                                      direction);
     isa::Machine m;
-    build.install(m, kernels::toWordImage(cipher, w.plaintext));
+    build.install(m, kernels::toWordImage(cipher, input));
 
     RecordedTrace trace;
     const auto key = std::make_pair(static_cast<int>(cipher),
@@ -66,6 +76,7 @@ recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
 
     m.run(build.program, &trace, 1ull << 32);
     functional_runs.fetch_add(1, std::memory_order_relaxed);
+    verify::verifyKernelOutput(build, m, w.key, w.iv, input, direction);
 
     if (bytes > 0) {
         std::lock_guard<std::mutex> lock(estimate_mutex);

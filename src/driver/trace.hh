@@ -19,14 +19,21 @@
 #include <cstdint>
 #include <vector>
 
-#include "driver/packed_trace.hh"
 #include "driver/workload.hh"
 #include "isa/machine.hh"
+#include "isa/packed_trace.hh"
 #include "kernels/kernel.hh"
 #include "sim/pipeline.hh"
 
 namespace cryptarch::driver
 {
+
+// The packed encoding lives in src/isa/ (it encodes isa::DynInst and
+// the verify layer corrupts serialized streams without linking the
+// driver); these aliases keep the historical driver:: spellings valid.
+using isa::PackedTrace;
+using isa::TraceErrorKind;
+using isa::TraceFormatError;
 
 /**
  * A captured dynamic instruction stream, stored packed (see
@@ -69,13 +76,22 @@ class RecordedTrace : public isa::TraceSink
 };
 
 /**
- * Build the (cipher, variant) kernel over the standard deterministic
- * workload for @p bytes, run it functionally exactly once, and capture
- * the trace. Increments functionalRuns().
+ * Build the (cipher, variant, direction) kernel over the standard
+ * deterministic workload for @p bytes, run it functionally exactly
+ * once, and capture the trace. Increments functionalRuns().
+ *
+ * Every recording is oracle-checked before any model replays it: the
+ * machine's output buffer is compared byte-for-byte against the
+ * reference cipher (decrypt kernels consume the reference ciphertext
+ * and must recover the plaintext). A mismatch throws
+ * verify::VerifyError, so no timing figure can be computed from a
+ * functionally wrong run.
  */
 RecordedTrace recordKernelTrace(crypto::CipherId cipher,
                                 kernels::KernelVariant variant,
-                                size_t bytes = session_bytes);
+                                size_t bytes = session_bytes,
+                                kernels::KernelDirection direction
+                                    = kernels::KernelDirection::Encrypt);
 
 /**
  * Process-wide count of functional Machine interpretations performed

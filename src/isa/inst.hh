@@ -40,6 +40,13 @@ constexpr unsigned num_regs = 64;
 /** The hardwired zero register. */
 constexpr Reg reg_zero{63};
 
+/**
+ * SBOX table designators the encoding can name (the paper's #<tt>
+ * field, sized generously). The assembler refuses larger ids; the
+ * machine traps on them (a corrupted program is data, not UB).
+ */
+constexpr unsigned max_sbox_tables = 16;
+
 enum class Opcode : uint8_t
 {
     // Control

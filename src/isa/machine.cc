@@ -1,5 +1,6 @@
 #include "isa/machine.hh"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "crypto/idea.hh"
@@ -23,23 +24,32 @@ Machine::setReg(Reg r, uint64_t v)
 }
 
 void
-Machine::checkAddr(uint64_t addr, unsigned size) const
+Machine::checkAddr(uint64_t addr, unsigned size, bool isStore) const
 {
-    if (addr + size > mem.size())
-        throw std::runtime_error("Machine: memory access out of bounds");
+    // Overflow-proof form of addr + size > mem.size().
+    if (addr > mem.size() || size > mem.size() - addr) {
+        char detail[96];
+        std::snprintf(detail, sizeof(detail),
+                      "%u-byte %s at addr=0x%llx beyond %zu-byte memory",
+                      size, isStore ? "store" : "load",
+                      static_cast<unsigned long long>(addr), mem.size());
+        throw Trap(isStore ? TrapCause::OobStore : TrapCause::OobLoad,
+                   detail)
+            .withAccess(addr, size);
+    }
 }
 
 void
 Machine::writeMem(uint64_t addr, const std::vector<uint8_t> &bytes)
 {
-    checkAddr(addr, bytes.size());
+    checkAddr(addr, bytes.size(), /*isStore=*/true);
     std::copy(bytes.begin(), bytes.end(), mem.begin() + addr);
 }
 
 std::vector<uint8_t>
 Machine::readMem(uint64_t addr, size_t n) const
 {
-    checkAddr(addr, n);
+    checkAddr(addr, n, /*isStore=*/false);
     return {mem.begin() + addr, mem.begin() + addr + n};
 }
 
@@ -55,10 +65,32 @@ Machine::read32(uint64_t addr) const
     return static_cast<uint32_t>(loadSized(addr, 4));
 }
 
+namespace
+{
+
+/** Alpha-style natural alignment for sized accesses. */
+void
+checkAlign(uint64_t addr, unsigned size, bool isStore)
+{
+    if (size > 1 && (addr & (size - 1))) {
+        char detail[96];
+        std::snprintf(detail, sizeof(detail),
+                      "misaligned %u-byte %s at addr=0x%llx", size,
+                      isStore ? "store" : "load",
+                      static_cast<unsigned long long>(addr));
+        throw cryptarch::isa::Trap(cryptarch::isa::TrapCause::Misaligned,
+                                   detail)
+            .withAccess(addr, size);
+    }
+}
+
+} // namespace
+
 uint64_t
 Machine::loadSized(uint64_t addr, unsigned size) const
 {
-    checkAddr(addr, size);
+    checkAddr(addr, size, /*isStore=*/false);
+    checkAlign(addr, size, /*isStore=*/false);
     uint64_t v = 0;
     for (unsigned i = 0; i < size; i++)
         v |= static_cast<uint64_t>(mem[addr + i]) << (8 * i);
@@ -68,7 +100,8 @@ Machine::loadSized(uint64_t addr, unsigned size) const
 void
 Machine::storeSized(uint64_t addr, unsigned size, uint64_t value)
 {
-    checkAddr(addr, size);
+    checkAddr(addr, size, /*isStore=*/true);
+    checkAlign(addr, size, /*isStore=*/true);
     for (unsigned i = 0; i < size; i++)
         mem[addr + i] = static_cast<uint8_t>(value >> (8 * i));
 }
@@ -76,13 +109,13 @@ Machine::storeSized(uint64_t addr, unsigned size, uint64_t value)
 uint32_t
 Machine::sboxRead(uint64_t addr)
 {
-    checkAddr(addr, 4);
+    checkAddr(addr, 4, /*isStore=*/false);
     if (!strictSbox)
         return static_cast<uint32_t>(loadSized(addr, 4));
     uint64_t frame = addr & ~0x3FFull;
     auto it = sboxSnapshots.find(frame);
     if (it == sboxSnapshots.end()) {
-        checkAddr(frame, 1024);
+        checkAddr(frame, 1024, /*isStore=*/false);
         it = sboxSnapshots
                  .emplace(frame, std::vector<uint8_t>(
                                      mem.begin() + frame,
@@ -123,17 +156,48 @@ constexpr uint64_t mask32 = 0xFFFFFFFFull;
 
 } // namespace
 
+void
+Machine::applyFaults(uint64_t seq)
+{
+    for (auto it = faults.begin(); it != faults.end();) {
+        if (it->seq != seq) {
+            ++it;
+            continue;
+        }
+        if (it->isReg) {
+            Reg r{static_cast<uint8_t>(it->target % num_regs)};
+            setReg(r, regs[r.n] ^ it->xorMask);
+        } else if (it->target < mem.size()) {
+            mem[it->target] ^= static_cast<uint8_t>(it->xorMask);
+        }
+        it = faults.erase(it);
+    }
+}
+
 RunStats
 Machine::run(const Program &program, TraceSink *sink, uint64_t max_insts)
 {
     RunStats stats;
     uint32_t pc = 0;
 
+    try {
     while (true) {
-        if (pc >= program.size())
-            throw std::runtime_error("Machine: pc ran off program end");
-        if (stats.instructions >= max_insts)
-            throw std::runtime_error("Machine: instruction limit hit");
+        if (pc >= program.size()) {
+            char detail[64];
+            std::snprintf(detail, sizeof(detail),
+                          "pc=%u beyond %zu-instruction program",
+                          static_cast<unsigned>(pc), program.size());
+            throw Trap(TrapCause::PcOverrun, detail);
+        }
+        if (stats.instructions >= max_insts) {
+            char detail[64];
+            std::snprintf(detail, sizeof(detail),
+                          "instruction limit %llu hit",
+                          static_cast<unsigned long long>(max_insts));
+            throw Trap(TrapCause::FuelExhausted, detail);
+        }
+        if (!faults.empty())
+            applyFaults(stats.instructions);
 
         const Inst &inst = program[pc];
         uint64_t a = regs[inst.ra.n];
@@ -320,6 +384,15 @@ Machine::run(const Program &program, TraceSink *sink, uint64_t max_insts)
           case Opcode::Sboxx: {
             addSrc(inst.ra);
             addSrc(inst.rb);
+            if (inst.tableId >= max_sbox_tables) {
+                char detail[64];
+                std::snprintf(detail, sizeof(detail),
+                              "SBOX table id %u >= %u",
+                              static_cast<unsigned>(inst.tableId),
+                              max_sbox_tables);
+                throw Trap(TrapCause::InvalidSboxTable, detail)
+                    .withTable(inst.tableId);
+            }
             uint64_t index = (regs[inst.rb.n] >> (8 * inst.byteSel))
                 & 0xFF;
             uint64_t addr = (a & ~0x3FFull) | (index << 2);
@@ -392,6 +465,11 @@ Machine::run(const Program &program, TraceSink *sink, uint64_t max_insts)
             sink->emit(dyn);
         stats.instructions++;
         pc = next_pc;
+    }
+    } catch (const Trap &t) {
+        // Rethrow with execution context: faulting pc, sequence number
+        // and the register file at the moment of the trap.
+        throw Trap::annotated(t, pc, stats.instructions, regs);
     }
 }
 

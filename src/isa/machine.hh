@@ -20,9 +20,24 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "isa/trap.hh"
 
 namespace cryptarch::isa
 {
+
+/**
+ * A scheduled single-bit (or multi-bit) state corruption, applied just
+ * before the dynamic instruction with sequence number @p seq executes.
+ * The fault-injection harness (src/verify/faults.hh) uses these to
+ * prove the trap/oracle checks detect real corruption.
+ */
+struct InjectedFault
+{
+    uint64_t seq = 0;   ///< dynamic instruction before which to fire
+    bool isReg = false; ///< register-file fault vs. data-memory fault
+    uint64_t target = 0; ///< register number, or byte address
+    uint64_t xorMask = 0; ///< XORed into the register (low byte for mem)
+};
 
 /** One dynamically executed instruction, as seen by trace consumers. */
 struct DynInst
@@ -96,12 +111,25 @@ class Machine
 
     /**
      * Execute @p program from instruction 0 until Halt, emitting each
-     * retired instruction to @p sink (may be null). Throws
-     * std::runtime_error on bad memory accesses, running off the end of
-     * the program, or exceeding @p max_insts.
+     * retired instruction to @p sink (may be null). Throws isa::Trap
+     * (a std::runtime_error) on bad memory accesses, running off the
+     * end of the program, invalid SBOX table designators, or exceeding
+     * @p max_insts; the trap carries the faulting pc, sequence number
+     * and a register-file snapshot.
      */
     RunStats run(const Program &program, TraceSink *sink = nullptr,
                  uint64_t max_insts = 1ull << 32);
+
+    /**
+     * Schedule a state corruption for the next run() (fault-injection
+     * harness). Faults fire immediately before the dynamic instruction
+     * with the matching sequence number executes and are consumed by
+     * the run. Register faults against R63 are dropped, like writes.
+     */
+    void scheduleFault(const InjectedFault &fault)
+    {
+        faults.push_back(fault);
+    }
 
     /**
      * When strict SBOX semantics are enabled (the default), non-aliased
@@ -114,9 +142,11 @@ class Machine
   private:
     uint64_t loadSized(uint64_t addr, unsigned size) const;
     void storeSized(uint64_t addr, unsigned size, uint64_t value);
-    void checkAddr(uint64_t addr, unsigned size) const;
+    void checkAddr(uint64_t addr, unsigned size, bool isStore) const;
     /** Non-aliased SBOX read honoring snapshot visibility. */
     uint32_t sboxRead(uint64_t addr);
+    /** Apply scheduled faults due at dynamic sequence number @p seq. */
+    void applyFaults(uint64_t seq);
 
     std::array<uint64_t, num_regs> regs{};
     std::vector<uint8_t> mem;
@@ -124,6 +154,9 @@ class Machine
     bool strictSbox = true;
     /** Snapshots of 1 KB table frames, keyed by frame base address. */
     std::map<uint64_t, std::vector<uint8_t>> sboxSnapshots;
+
+    /** Pending injected faults, consumed as their seq comes up. */
+    std::vector<InjectedFault> faults;
 };
 
 } // namespace cryptarch::isa

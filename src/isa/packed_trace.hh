@@ -4,7 +4,7 @@
  *
  * A trace replayed across a model grid is read once per timing model,
  * so replay throughput is bounded by how many bytes per instruction
- * stream through the cache hierarchy. A full isa::DynInst is 56 bytes;
+ * stream through the cache hierarchy. A full DynInst is 56 bytes;
  * PackedTrace stores the same information in 14 fixed bytes per
  * instruction plus small side tables, and decodes back to DynInst on
  * the fly during replay:
@@ -36,17 +36,56 @@
  * through a Reader cursor — exactly the access pattern replay has.
  */
 
-#ifndef CRYPTARCH_DRIVER_PACKED_TRACE_HH
-#define CRYPTARCH_DRIVER_PACKED_TRACE_HH
+#ifndef CRYPTARCH_ISA_PACKED_TRACE_HH
+#define CRYPTARCH_ISA_PACKED_TRACE_HH
 
 #include <cassert>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "isa/machine.hh"
 
-namespace cryptarch::driver
+namespace cryptarch::isa
 {
+
+/** What a packed-trace stream failed to validate. */
+enum class TraceErrorKind : uint8_t
+{
+    BadMagic,     ///< stream does not start with the trace magic
+    BadVersion,   ///< unknown format version
+    Truncated,    ///< stream shorter than its header promises
+    BadChecksum,  ///< payload checksum mismatch (bit corruption)
+    Inconsistent, ///< columns/flags/side tables disagree
+    Overrun,      ///< decode consumed past a side table's end
+};
+
+/** Stable short name of a trace error kind ("bad-magic", ...). */
+const char *traceErrorKindName(TraceErrorKind kind);
+
+/**
+ * A packed-trace stream was rejected. Every malformed input path —
+ * truncation, corruption, inconsistent side tables — raises this
+ * typed error instead of undefined behavior.
+ */
+class TraceFormatError : public std::runtime_error
+{
+  public:
+    TraceFormatError(TraceErrorKind kind, const std::string &detail)
+        : std::runtime_error("PackedTrace ["
+                             + std::string(traceErrorKindName(kind))
+                             + "]: " + detail),
+          kind_(kind)
+    {
+    }
+
+    TraceErrorKind kind() const { return kind_; }
+
+  private:
+    TraceErrorKind kind_;
+};
 
 class PackedTrace
 {
@@ -57,7 +96,7 @@ class PackedTrace
      * as 0) — timing models never read it, and results are the one
      * field that would otherwise dominate the encoding.
      */
-    void append(const isa::DynInst &inst, bool keepResult = true);
+    void append(const DynInst &inst, bool keepResult = true);
 
     /** Pre-size the fixed columns for @p n instructions. */
     void reserve(size_t n);
@@ -69,6 +108,21 @@ class PackedTrace
     size_t packedBytes() const;
 
     void clear();
+
+    /**
+     * Serialize to a self-describing byte stream: versioned header
+     * (magic, version, per-table entry counts), FNV-1a checksum over
+     * the payload, then the columns and side tables little-endian.
+     */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Parse a stream produced by serialize(). Validates the magic,
+     * version, length, checksum, and that the flag columns and side
+     * tables are mutually consistent (every decode is in bounds before
+     * a Reader ever runs). Throws TraceFormatError on any defect.
+     */
+    static PackedTrace deserialize(std::span<const uint8_t> bytes);
 
     /**
      * Sequential decode cursor. Readers are cheap to construct and
@@ -84,8 +138,12 @@ class PackedTrace
         /** Decode the next instruction; valid only when !done().
          *  Defined inline below: the decode runs once per replayed
          *  instruction and wants to fold into the replay loop rather
-         *  than pay a cross-TU call returning a 56-byte DynInst. */
-        isa::DynInst next();
+         *  than pay a cross-TU call returning a 56-byte DynInst.
+         *  Fully bounds-checked: a side-table overrun (possible only
+         *  on a hand-built inconsistent trace; deserialize() validates
+         *  streams up front) throws TraceFormatError instead of
+         *  reading out of bounds. */
+        DynInst next();
 
       private:
         const PackedTrace *trace;
@@ -118,6 +176,11 @@ class PackedTrace
 
     static uint16_t sizeCode(uint8_t size);
 
+    /** Raise TraceFormatError unless flags and side tables agree. */
+    void validateConsistency() const;
+
+    [[noreturn]] static void overrun(const char *table, size_t index);
+
     std::vector<uint32_t> pc_;
     std::vector<uint8_t> op_;
     std::vector<uint8_t> cls_;
@@ -133,18 +196,18 @@ class PackedTrace
     std::vector<uint64_t> result_;
 };
 
-inline isa::DynInst
+inline DynInst
 PackedTrace::Reader::next()
 {
     const PackedTrace &t = *trace;
     const size_t i = index;
     const uint16_t flags = t.flags_[i];
 
-    isa::DynInst d;
+    DynInst d;
     d.seq = i;
     d.pc = t.pc_[i];
-    d.op = static_cast<isa::Opcode>(t.op_[i]);
-    d.cls = static_cast<isa::OpClass>(t.cls_[i]);
+    d.op = static_cast<Opcode>(t.op_[i]);
+    d.cls = static_cast<OpClass>(t.cls_[i]);
     d.numSrcs = flags & num_srcs_mask;
     d.srcs = {t.srcs_[3 * i], t.srcs_[3 * i + 1], t.srcs_[3 * i + 2]};
     d.dest = t.dest_[i];
@@ -157,18 +220,34 @@ PackedTrace::Reader::next()
     d.tableId = t.tableId_[i];
     d.aliased = flags & f_aliased;
 
-    if (flags & f_has_addr)
-        d.addr = (flags & f_wide_addr) ? t.addrWide_[addrWidePos++]
-                                       : t.addr32_[addr32Pos++];
-    d.nextPc = (flags & f_next_pc_exc) ? t.nextPcExc_[nextPcPos++]
-                                       : d.pc + 1;
-    if (flags & f_has_result)
+    if (flags & f_has_addr) {
+        if (flags & f_wide_addr) {
+            if (addrWidePos >= t.addrWide_.size())
+                overrun("addrWide", i);
+            d.addr = t.addrWide_[addrWidePos++];
+        } else {
+            if (addr32Pos >= t.addr32_.size())
+                overrun("addr32", i);
+            d.addr = t.addr32_[addr32Pos++];
+        }
+    }
+    if (flags & f_next_pc_exc) {
+        if (nextPcPos >= t.nextPcExc_.size())
+            overrun("nextPcExc", i);
+        d.nextPc = t.nextPcExc_[nextPcPos++];
+    } else {
+        d.nextPc = d.pc + 1;
+    }
+    if (flags & f_has_result) {
+        if (resultPos >= t.result_.size())
+            overrun("result", i);
         d.result = t.result_[resultPos++];
+    }
 
     ++index;
     return d;
 }
 
-} // namespace cryptarch::driver
+} // namespace cryptarch::isa
 
-#endif // CRYPTARCH_DRIVER_PACKED_TRACE_HH
+#endif // CRYPTARCH_ISA_PACKED_TRACE_HH

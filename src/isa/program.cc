@@ -23,8 +23,13 @@ Assembler::emit(Inst inst)
 void
 Assembler::label(const std::string &name)
 {
-    if (labels.count(name))
-        throw std::runtime_error("Assembler: duplicate label " + name);
+    if (labels.count(name)) {
+        std::ostringstream os;
+        os << "duplicate label '" << name << "' at instruction "
+           << insts.size() << " (first defined at instruction "
+           << labels[name] << ")";
+        throw AsmError(os.str(), name, insts.size());
+    }
     labels[name] = static_cast<int32_t>(insts.size());
 }
 
@@ -168,10 +173,27 @@ void Assembler::rolx32(Reg src, int64_t i, Reg d) { aluImm(Opcode::Rolx32, src, 
 void Assembler::rorx32(Reg src, int64_t i, Reg d) { aluImm(Opcode::Rorx32, src, i, d); }
 void Assembler::mulmod(Reg a, Reg b, Reg d) { alu(Opcode::Mulmod, a, b, d); }
 
+namespace
+{
+
+void
+checkTableId(unsigned table_id, size_t inst_index)
+{
+    if (table_id >= max_sbox_tables) {
+        std::ostringstream os;
+        os << "SBOX table id " << table_id << " out of range (max "
+           << max_sbox_tables - 1 << ") at instruction " << inst_index;
+        throw AsmError(os.str(), "", inst_index);
+    }
+}
+
+} // namespace
+
 void
 Assembler::sbox(unsigned table_id, unsigned byte_sel, Reg table, Reg index,
                 Reg d, bool aliased)
 {
+    checkTableId(table_id, insts.size());
     Inst inst;
     inst.op = Opcode::Sbox;
     inst.ra = table;
@@ -214,6 +236,7 @@ void
 Assembler::sboxx(unsigned table_id, unsigned byte_sel, Reg table,
                  Reg index, Reg d, bool aliased)
 {
+    checkTableId(table_id, insts.size());
     Inst inst;
     inst.op = Opcode::Sboxx;
     inst.ra = table;
@@ -230,8 +253,13 @@ Assembler::finalize()
 {
     for (const auto &[idx, name] : fixups) {
         auto it = labels.find(name);
-        if (it == labels.end())
-            throw std::runtime_error("Assembler: undefined label " + name);
+        if (it == labels.end()) {
+            std::ostringstream os;
+            os << "undefined label '" << name
+               << "' referenced by the branch at instruction " << idx
+               << " (" << isa::disassemble(insts[idx]) << ")";
+            throw AsmError(os.str(), name, idx);
+        }
         insts[idx].target = it->second;
     }
     Program p;

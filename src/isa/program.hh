@@ -22,6 +22,32 @@
 namespace cryptarch::isa
 {
 
+/**
+ * An assembly-time failure: undefined or duplicate labels, operands
+ * outside their encodable range. Carries the offending label (when
+ * label-related) and the instruction index the error was detected at,
+ * and names both in what() — the assembler analogue of isa::Trap.
+ */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(const std::string &detail, std::string label,
+             size_t inst_index)
+        : std::runtime_error("Assembler: " + detail),
+          label_(std::move(label)), index_(inst_index)
+    {
+    }
+
+    /** The label involved, empty when not label-related. */
+    const std::string &label() const { return label_; }
+    /** Instruction index where the error was detected. */
+    size_t instIndex() const { return index_; }
+
+  private:
+    std::string label_;
+    size_t index_;
+};
+
 /** A finalized instruction sequence. */
 struct Program
 {

@@ -1,0 +1,67 @@
+#include "isa/trap.hh"
+
+#include <cstdio>
+
+namespace cryptarch::isa
+{
+
+const char *
+trapCauseName(TrapCause cause)
+{
+    switch (cause) {
+      case TrapCause::OobLoad: return "oob-load";
+      case TrapCause::OobStore: return "oob-store";
+      case TrapCause::Misaligned: return "misaligned";
+      case TrapCause::PcOverrun: return "pc-overrun";
+      case TrapCause::FuelExhausted: return "fuel-exhausted";
+      case TrapCause::InvalidSboxTable: return "invalid-sbox-table";
+    }
+    return "?";
+}
+
+Trap::Trap(TrapCause cause, const std::string &detail)
+    : std::runtime_error("Machine trap [" + std::string(trapCauseName(cause))
+                         + "]: " + detail),
+      cause_(cause)
+{
+}
+
+Trap::Trap(TrapCause cause, const std::string &what, int)
+    : std::runtime_error(what), cause_(cause)
+{
+}
+
+Trap &
+Trap::withAccess(uint64_t addr, unsigned size)
+{
+    addr_ = addr;
+    size_ = size;
+    return *this;
+}
+
+Trap &
+Trap::withTable(unsigned table)
+{
+    table_ = table;
+    return *this;
+}
+
+Trap
+Trap::annotated(const Trap &t, uint32_t pc, uint64_t seq,
+                const std::array<uint64_t, num_regs> &regs)
+{
+    char ctx[64];
+    std::snprintf(ctx, sizeof(ctx), " at pc=%u seq=%llu",
+                  static_cast<unsigned>(pc),
+                  static_cast<unsigned long long>(seq));
+    Trap out(t.cause_, t.what() + std::string(ctx), 0);
+    out.pc_ = pc;
+    out.seq_ = seq;
+    out.addr_ = t.addr_;
+    out.size_ = t.size_;
+    out.table_ = t.table_;
+    out.regs_ = regs;
+    return out;
+}
+
+} // namespace cryptarch::isa

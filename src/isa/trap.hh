@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structured machine traps.
+ *
+ * Every failure mode of the functional interpreter is a Trap: a typed
+ * exception carrying the cause, the faulting pc and dynamic sequence
+ * number, the effective address (for memory faults) and a snapshot of
+ * the architectural register file at the moment of the trap. The
+ * what() string renders all of that, so a failed sweep cell or a
+ * fault-injection run is diagnosable from the message alone, while
+ * legacy call sites that catch std::runtime_error keep working
+ * unchanged.
+ */
+
+#ifndef CRYPTARCH_ISA_TRAP_HH
+#define CRYPTARCH_ISA_TRAP_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace cryptarch::isa
+{
+
+/** Why the machine trapped. */
+enum class TrapCause : uint8_t
+{
+    OobLoad,       ///< load (or SBOX read) beyond memory bounds
+    OobStore,      ///< store beyond memory bounds
+    Misaligned,    ///< naturally-misaligned memory access
+    PcOverrun,     ///< pc ran off the end of the program
+    FuelExhausted, ///< dynamic instruction limit hit (livelock guard)
+    InvalidSboxTable, ///< SBOX table designator out of range
+};
+
+/** Stable short name of a trap cause ("oob-load", "pc-overrun", ...). */
+const char *trapCauseName(TrapCause cause);
+
+/**
+ * A machine trap. Derives std::runtime_error so existing catch sites
+ * keep working; catch Trap explicitly for the structured fields.
+ */
+class Trap : public std::runtime_error
+{
+  public:
+    /** A trap raised outside run() (bulk memory accessors): no pc. */
+    Trap(TrapCause cause, const std::string &detail);
+
+    /**
+     * Rebuild @p t with execution context attached: faulting pc,
+     * dynamic sequence number and a register-file snapshot. run()
+     * calls this so every trap escaping an execution names where it
+     * happened.
+     */
+    static Trap annotated(const Trap &t, uint32_t pc, uint64_t seq,
+                          const std::array<uint64_t, num_regs> &regs);
+
+    TrapCause cause() const { return cause_; }
+    /** Faulting static instruction index; unset outside run(). */
+    std::optional<uint32_t> pc() const { return pc_; }
+    /** Faulting dynamic sequence number; unset outside run(). */
+    std::optional<uint64_t> seq() const { return seq_; }
+    /** Effective address of a faulting memory access. */
+    std::optional<uint64_t> addr() const { return addr_; }
+    /** Access size in bytes of a faulting memory access. */
+    std::optional<unsigned> accessSize() const { return size_; }
+    /** SBOX table designator of an InvalidSboxTable trap. */
+    std::optional<unsigned> tableId() const { return table_; }
+
+    /** Register file at the trap; present only on annotated traps. */
+    const std::optional<std::array<uint64_t, num_regs>> &
+    regs() const
+    {
+        return regs_;
+    }
+
+    /** Attach the effective address and size of a memory fault. */
+    Trap &withAccess(uint64_t addr, unsigned size);
+    /** Attach the offending SBOX table designator. */
+    Trap &withTable(unsigned table);
+
+  private:
+    Trap(TrapCause cause, const std::string &what, int);
+
+    TrapCause cause_;
+    std::optional<uint32_t> pc_;
+    std::optional<uint64_t> seq_;
+    std::optional<uint64_t> addr_;
+    std::optional<unsigned> size_;
+    std::optional<unsigned> table_;
+    std::optional<std::array<uint64_t, num_regs>> regs_;
+};
+
+} // namespace cryptarch::isa
+
+#endif // CRYPTARCH_ISA_TRAP_HH

@@ -158,7 +158,11 @@ TEST(Driver, JsonEmitterWritesSchema)
     std::string json = buf.str();
 
     EXPECT_NE(json.find("\"bench\": \"test\""), std::string::npos);
-    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 3"), std::string::npos);
+    // Schema v3: fail-soft outcome on every result, message only on
+    // failed cells.
+    EXPECT_NE(json.find("\"outcome\": \"ok\""), std::string::npos);
+    EXPECT_EQ(json.find("\"message\": "), std::string::npos);
     EXPECT_NE(json.find("\"cipher\": \"RC4\""), std::string::npos);
     EXPECT_NE(json.find("\"model\": \"4W\""), std::string::npos);
     EXPECT_NE(json.find("\"session_bytes\": 4096"), std::string::npos);
@@ -180,6 +184,63 @@ TEST(Driver, JsonEmitterWritesSchema)
     std::ostringstream expect;
     expect << "\"cycles\": " << results[0].stats.cycles;
     EXPECT_NE(json.find(expect.str()), std::string::npos);
+}
+
+TEST(Driver, FailSoftSweepKeepsHealthyCells)
+{
+    // Three cells: the middle one cannot even build (Rijndael session
+    // not a block multiple), the last one traps at install time (the
+    // session image exceeds machine memory). Neither may take down the
+    // healthy first cell, and runCells must not throw.
+    std::vector<SweepCell> cells = {
+        {crypto::CipherId::RC4, KernelVariant::BaselineRot,
+         MachineConfig::fourWide(), 1024},
+        {crypto::CipherId::Rijndael, KernelVariant::BaselineRot,
+         MachineConfig::fourWide(), 100},
+        {crypto::CipherId::RC4, KernelVariant::BaselineRot,
+         MachineConfig::fourWide(), size_t{1} << 23},
+    };
+    auto results = driver::runCells(cells);
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_EQ(results[0].outcome, driver::CellOutcome::Ok);
+    EXPECT_GT(results[0].stats.cycles, 0u);
+    EXPECT_TRUE(results[0].message.empty());
+
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].outcome, driver::CellOutcome::Error);
+    EXPECT_FALSE(results[1].message.empty());
+    // Failed cells keep their grid coordinates (zeroed stats).
+    EXPECT_EQ(results[1].cipher, crypto::CipherId::Rijndael);
+    EXPECT_EQ(results[1].bytes, 100u);
+    EXPECT_EQ(results[1].stats.cycles, 0u);
+
+    EXPECT_FALSE(results[2].ok());
+    EXPECT_EQ(results[2].outcome, driver::CellOutcome::Trapped);
+    EXPECT_NE(results[2].message.find("oob"), std::string::npos)
+        << results[2].message;
+}
+
+TEST(Driver, FailedCellsSerializeOutcomeAndMessage)
+{
+    std::vector<SweepCell> cells = {
+        {crypto::CipherId::Rijndael, KernelVariant::BaselineRot,
+         MachineConfig::fourWide(), 100},
+    };
+    auto results = driver::runCells(cells);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_FALSE(results[0].ok());
+
+    std::string path = ::testing::TempDir() + "BENCH_failsoft.json";
+    driver::writeBenchJson(path, "failsoft", results);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string json = buf.str();
+    EXPECT_NE(json.find("\"outcome\": \"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"message\": \""), std::string::npos);
 }
 
 TEST(Driver, MixedSessionLengthsKeySeparateTraces)

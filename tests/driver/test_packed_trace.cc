@@ -13,8 +13,8 @@
 #include <random>
 #include <vector>
 
-#include "driver/packed_trace.hh"
 #include "driver/trace.hh"
+#include "isa/packed_trace.hh"
 #include "driver/workload.hh"
 #include "kernels/kernel.hh"
 

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Structured-trap tests: every machine failure mode raises an
+ * isa::Trap carrying its cause, pc/seq context, and (for memory
+ * faults) the effective address — while remaining catchable as
+ * std::runtime_error at legacy call sites. Assembler errors carry
+ * source-label context the same way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isa/machine.hh"
+#include "isa/program.hh"
+#include "isa/trap.hh"
+
+namespace
+{
+
+using namespace cryptarch::isa;
+
+constexpr Reg r1{1}, r2{2}, r3{3};
+
+/** Run @p a to completion and return the trap it must raise. */
+Trap
+expectTrap(Assembler &a, Machine &m, uint64_t fuel = 1ull << 20)
+{
+    a.halt();
+    Program p = a.finalize();
+    try {
+        m.run(p, nullptr, fuel);
+    } catch (const Trap &t) {
+        return t;
+    }
+    ADD_FAILURE() << "program completed without trapping";
+    return Trap(TrapCause::PcOverrun, "unreachable");
+}
+
+TEST(Trap, OobLoadCarriesCauseAddressAndContext)
+{
+    Machine m(4096);
+    Assembler a;
+    a.li(0x10000, r1); // beyond the 4 KB memory
+    a.ldq(r2, r1, 8);
+    Trap t = expectTrap(a, m);
+
+    EXPECT_EQ(t.cause(), TrapCause::OobLoad);
+    ASSERT_TRUE(t.addr().has_value());
+    EXPECT_EQ(*t.addr(), 0x10008u);
+    ASSERT_TRUE(t.accessSize().has_value());
+    EXPECT_EQ(*t.accessSize(), 8u);
+    ASSERT_TRUE(t.pc().has_value());
+    EXPECT_EQ(*t.pc(), 1u); // the ldq is instruction 1
+    ASSERT_TRUE(t.seq().has_value());
+    EXPECT_EQ(*t.seq(), 1u);
+
+    // Register snapshot: r1 holds the bad base address.
+    ASSERT_TRUE(t.regs().has_value());
+    EXPECT_EQ((*t.regs())[r1.n], 0x10000u);
+
+    // Legacy what(): names the cause, address, and pc.
+    const std::string msg = t.what();
+    EXPECT_NE(msg.find("oob-load"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("0x10008"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pc=1"), std::string::npos) << msg;
+}
+
+TEST(Trap, OobStoreIsDistinguishedFromLoad)
+{
+    Machine m(4096);
+    Assembler a;
+    a.li(0xFFFFFF, r1);
+    a.stq(r2, r1, 0);
+    Trap t = expectTrap(a, m);
+    EXPECT_EQ(t.cause(), TrapCause::OobStore);
+    EXPECT_NE(std::string(t.what()).find("oob-store"),
+              std::string::npos);
+}
+
+TEST(Trap, MisalignedAccessTraps)
+{
+    Machine m;
+    Assembler a;
+    a.li(0x1003, r1);
+    a.ldl(r2, r1, 0); // 4-byte load at a 1-mod-4 address
+    Trap t = expectTrap(a, m);
+    EXPECT_EQ(t.cause(), TrapCause::Misaligned);
+    ASSERT_TRUE(t.addr().has_value());
+    EXPECT_EQ(*t.addr(), 0x1003u);
+}
+
+TEST(Trap, FuelExhaustionTraps)
+{
+    Machine m;
+    Assembler a;
+    a.label("spin");
+    a.addq(r1, 1, r1);
+    a.br("spin");
+    Trap t = expectTrap(a, m, /*fuel=*/1000);
+    EXPECT_EQ(t.cause(), TrapCause::FuelExhausted);
+    EXPECT_NE(std::string(t.what()).find("fuel-exhausted"),
+              std::string::npos);
+}
+
+TEST(Trap, InvalidSboxTableTrapsAtExecution)
+{
+    // The assembler rejects bad designators at emit time, so forge one
+    // post-assembly: the machine must still catch it.
+    Machine m;
+    Assembler a;
+    a.sbox(0, 0, r1, r2, r3);
+    a.halt();
+    Program p = a.finalize();
+    p.insts[0].tableId = max_sbox_tables; // first invalid designator
+    try {
+        m.run(p);
+        FAIL() << "invalid SBOX table id did not trap";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.cause(), TrapCause::InvalidSboxTable);
+        ASSERT_TRUE(t.tableId().has_value());
+        EXPECT_EQ(*t.tableId(), max_sbox_tables);
+    }
+}
+
+TEST(Trap, PcOverrunTraps)
+{
+    // A program with no halt runs off its end.
+    Machine m;
+    Assembler a;
+    a.addq(r1, 1, r1);
+    Program p = a.finalize();
+    try {
+        m.run(p);
+        FAIL() << "pc overrun did not trap";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.cause(), TrapCause::PcOverrun);
+        EXPECT_NE(std::string(t.what()).find("pc-overrun"),
+                  std::string::npos);
+    }
+}
+
+TEST(Trap, LegacyRuntimeErrorCatchStillWorks)
+{
+    Machine m(4096);
+    Assembler a;
+    a.li(0x100000, r1);
+    a.ldq(r2, r1, 0);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_THROW(m.run(p), std::runtime_error);
+}
+
+TEST(Trap, BulkAccessorTrapsWithoutExecutionContext)
+{
+    Machine m(4096);
+    try {
+        m.writeMem(1 << 20, std::vector<uint8_t>{0});
+        FAIL() << "out-of-bounds writeMem did not trap";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.cause(), TrapCause::OobStore);
+        EXPECT_FALSE(t.pc().has_value());
+        EXPECT_FALSE(t.regs().has_value());
+    }
+}
+
+TEST(AsmError, UndefinedLabelNamesLabelAndInstruction)
+{
+    Assembler a;
+    a.beq(r1, "nowhere");
+    a.halt();
+    try {
+        a.finalize();
+        FAIL() << "undefined label did not throw";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.label(), "nowhere");
+        EXPECT_EQ(e.instIndex(), 0u);
+        EXPECT_NE(std::string(e.what()).find("nowhere"),
+                  std::string::npos);
+    }
+}
+
+TEST(AsmError, DuplicateLabelNamesBothSites)
+{
+    Assembler a;
+    a.label("twice");
+    a.addq(r1, 1, r1);
+    try {
+        a.label("twice");
+        FAIL() << "duplicate label did not throw";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.label(), "twice");
+        EXPECT_NE(std::string(e.what()).find("twice"),
+                  std::string::npos);
+    }
+}
+
+TEST(AsmError, SboxTableIdValidatedAtEmit)
+{
+    Assembler a;
+    EXPECT_THROW(a.sbox(max_sbox_tables, 0, r1, r2, r3), AsmError);
+    EXPECT_THROW(a.sboxx(max_sbox_tables + 3, 0, r1, r2, r3), AsmError);
+    // The last valid designator is accepted.
+    a.sbox(max_sbox_tables - 1, 0, r1, r2, r3);
+}
+
+} // namespace

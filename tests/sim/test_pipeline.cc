@@ -148,7 +148,7 @@ TEST(Pipeline, AliasOrderingStallsLoads)
     // waits for the store address and the chains serialize.
     isa::Assembler a;
     isa::Reg base{1}, v{2}, d{3};
-    a.li(0x1000, base);
+    a.li(0x1004, base); // +60 from the chain lands the store 8-aligned
     a.li(0, v);
     for (int i = 0; i < 60; i++)
         a.addq(v, 1, v); // long chain feeding the store address

@@ -150,7 +150,7 @@ TEST(Replay, StreamPreservesSequenceNumbers)
 
 // The packed encoding drops result values (timing models never read
 // them) but must preserve every field the scheduler does read —
-// asserted here by the full schema-2 stall-counter comparison in
+// asserted here by the full schema-3 stall-counter comparison in
 // ReplayMatchesLiveSimulation above, and spot-checked structurally:
 // replaying through the generic TraceSink path equals the hot path.
 TEST(Replay, PackedSinkReplayMatchesHotPath)
