@@ -24,9 +24,16 @@ escape(std::string_view s)
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
           default:
-            if (static_cast<unsigned char>(c) < 0x20) {
+            // Escape through unsigned char: a plain (signed) char
+            // sign-extends through the %x varargs promotion, turning
+            // 0x80 into "￿ff80". High-bit bytes are escaped too —
+            // the emitter's strings are ASCII identifiers, so a stray
+            // non-ASCII byte must surface as a visible \u00xx escape
+            // rather than corrupt the file's UTF-8.
+            if (const auto u = static_cast<unsigned char>(c);
+                u < 0x20 || u >= 0x7f) {
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
                 out += buf;
             } else {
                 out += c;

@@ -42,6 +42,12 @@
  * counters. v3 added the fail-soft cell "outcome" (with "message" on
  * failed cells); failed cells keep their coordinates but carry zeroed
  * stats.
+ *
+ * All emitted strings are escaped: quote/backslash/newline/tab with
+ * their short escapes, every other byte outside printable ASCII
+ * (< 0x20 or >= 0x7f) as a \u00xx escape of the unsigned byte value,
+ * so error messages containing arbitrary bytes cannot corrupt the
+ * file.
  */
 
 #ifndef CRYPTARCH_DRIVER_JSON_HH

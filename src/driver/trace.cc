@@ -1,10 +1,15 @@
 #include "driver/trace.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <utility>
 
+#include "verify/expand_check.hh"
 #include "verify/oracle.hh"
 
 namespace cryptarch::driver
@@ -17,18 +22,60 @@ std::atomic<uint64_t> functional_runs{0};
 
 /**
  * First-session instruction-count estimates, keyed by
- * (cipher, variant). A kernel's dynamic length is linear in its
+ * (cipher, variant, direction) — decrypt kernels of the same cipher
+ * can differ in dynamic length (extra chaining loads), so direction
+ * is part of the key. A kernel's dynamic length is linear in its
  * session bytes, so one observation sizes every later recording's
  * reserve() and the packed columns never regrow mid-record.
  */
 std::mutex estimate_mutex;
-std::map<std::pair<int, int>, double> insts_per_byte;
+std::map<std::tuple<int, int, int>, double> insts_per_byte;
+
+TraceCompression
+initialCompressionMode()
+{
+    const char *env = std::getenv("CRYPTARCH_TRACE_COMPRESS");
+    if (env) {
+        if (std::strcmp(env, "off") == 0)
+            return TraceCompression::Off;
+        if (std::strcmp(env, "on") == 0)
+            return TraceCompression::On;
+        // "auto" or anything unrecognized: the safe default.
+    }
+    return TraceCompression::Auto;
+}
+
+std::atomic<TraceCompression> compression_mode{initialCompressionMode()};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - t0)
+        .count();
+}
 
 } // namespace
+
+TraceCompression
+traceCompression()
+{
+    return compression_mode.load(std::memory_order_relaxed);
+}
+
+void
+setTraceCompression(TraceCompression mode)
+{
+    compression_mode.store(mode, std::memory_order_relaxed);
+}
 
 void
 RecordedTrace::replay(isa::TraceSink &sink) const
 {
+    if (compressed_) {
+        comp.expandInto(sink);
+        return;
+    }
     for (auto r = packed.reader(); !r.done();)
         sink.emit(r.next());
 }
@@ -37,19 +84,69 @@ sim::SimStats
 RecordedTrace::replay(const sim::MachineConfig &cfg) const
 {
     sim::OooScheduler sched(cfg);
-    // Decode straight into the concrete scheduler: the DynInst lives
-    // in a register-resident temporary for exactly one emit.
-    for (auto r = packed.reader(); !r.done();) {
-        isa::DynInst d = r.next();
-        sched.emit(d);
+    // Feed the concrete scheduler directly: packed decode lands in a
+    // register-resident temporary for exactly one emit; compressed
+    // expansion emits straight from the patched body template.
+    if (compressed_) {
+        comp.expandInto(sched);
+    } else {
+        for (auto r = packed.reader(); !r.done();) {
+            isa::DynInst d = r.next();
+            sched.emit(d);
+        }
     }
     return sched.finish();
 }
 
+CompressOutcome
+RecordedTrace::compress(TraceCompression mode)
+{
+    if (compressed_)
+        return outcome_;
+    if (mode == TraceCompression::Off) {
+        outcome_ = CompressOutcome::NotAttempted;
+        return outcome_;
+    }
+    CompressedTrace candidate;
+    outcome_ = CompressedTrace::compress(packed, candidate);
+    if (outcome_ != CompressOutcome::Accepted)
+        return outcome_;
+    if (mode == TraceCompression::Auto
+        && candidate.storedBytes() >= packed.packedBytes()) {
+        outcome_ = CompressOutcome::NoGain;
+        return outcome_;
+    }
+    // The packed copy is dropped only after the expanded stream is
+    // proven identical to it — downstream figures cannot change.
+    if (!verify::verifyExpansion(packed, candidate)) {
+        outcome_ = CompressOutcome::ExpandMismatch;
+        return outcome_;
+    }
+    packedBytesBeforeDrop = packed.packedBytes();
+    comp = std::move(candidate);
+    compressed_ = true;
+    packed.clear();
+    return outcome_;
+}
+
+PackedTrace
+RecordedTrace::toPacked() const
+{
+    if (!compressed_)
+        return packed;
+    PackedTrace out;
+    out.reserve(comp.instructions());
+    for (auto r = comp.reader(); !r.done();)
+        out.append(r.next(), /*keepResult=*/true);
+    return out;
+}
+
 RecordedTrace
 recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
-                  size_t bytes, kernels::KernelDirection direction)
+                  size_t bytes, kernels::KernelDirection direction,
+                  RecordTiming *timing)
 {
+    const auto t_record = std::chrono::steady_clock::now();
     Workload w = makeWorkload(cipher, bytes);
     // Decrypt kernels consume the reference ciphertext of the standard
     // plaintext, so the oracle below checks round-trip recovery.
@@ -64,8 +161,9 @@ recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
     build.install(m, kernels::toWordImage(cipher, input));
 
     RecordedTrace trace;
-    const auto key = std::make_pair(static_cast<int>(cipher),
-                                    static_cast<int>(variant));
+    const auto key = std::make_tuple(static_cast<int>(cipher),
+                                     static_cast<int>(variant),
+                                     static_cast<int>(direction));
     {
         std::lock_guard<std::mutex> lock(estimate_mutex);
         auto it = insts_per_byte.find(key);
@@ -76,12 +174,26 @@ recordKernelTrace(crypto::CipherId cipher, kernels::KernelVariant variant,
 
     m.run(build.program, &trace, 1ull << 32);
     functional_runs.fetch_add(1, std::memory_order_relaxed);
+    const double record_seconds = secondsSince(t_record);
+
+    const auto t_verify = std::chrono::steady_clock::now();
     verify::verifyKernelOutput(build, m, w.key, w.iv, input, direction);
+    const double verify_seconds = secondsSince(t_verify);
 
     if (bytes > 0) {
         std::lock_guard<std::mutex> lock(estimate_mutex);
         insts_per_byte[key] =
             static_cast<double>(trace.instructions()) / bytes;
+    }
+
+    const auto t_compress = std::chrono::steady_clock::now();
+    trace.compress(traceCompression());
+    const double compress_seconds = secondsSince(t_compress);
+
+    if (timing) {
+        timing->recordSeconds = record_seconds;
+        timing->verifySeconds = verify_seconds;
+        timing->compressSeconds = compress_seconds;
     }
     return trace;
 }

@@ -11,6 +11,15 @@
  * (cipher x variant x model) grid into one functional interpretation
  * per kernel instead of one per timing model — the record/replay
  * structure SimpleScalar-style studies exploit.
+ *
+ * Storage is two-tier. Every stream is captured as a PackedTrace
+ * (14 B/inst); after recording, the driver attempts the loop-aware
+ * CompressedTrace encoding (see isa/compressed_trace.hh) and adopts it
+ * only when the loop detector structurally accepts the stream, the
+ * encoding is actually smaller, AND a full differential expansion
+ * check (verify::verifyExpansion) proves the expanded stream identical
+ * to the packed one. Replay then expands on the fly; every refusal
+ * path falls back to the packed copy with no output change.
  */
 
 #ifndef CRYPTARCH_DRIVER_TRACE_HH
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "driver/workload.hh"
+#include "isa/compressed_trace.hh"
 #include "isa/machine.hh"
 #include "isa/packed_trace.hh"
 #include "kernels/kernel.hh"
@@ -31,16 +41,44 @@ namespace cryptarch::driver
 // The packed encoding lives in src/isa/ (it encodes isa::DynInst and
 // the verify layer corrupts serialized streams without linking the
 // driver); these aliases keep the historical driver:: spellings valid.
+using isa::CompressedTrace;
+using isa::CompressOutcome;
 using isa::PackedTrace;
 using isa::TraceErrorKind;
 using isa::TraceFormatError;
 
 /**
+ * Process-wide trace-storage policy, settable programmatically or via
+ * the CRYPTARCH_TRACE_COMPRESS environment variable ("off", "auto",
+ * "on"; default auto).
+ *
+ *   Off   never attempt compression; store packed only.
+ *   Auto  compress when the loop detector accepts AND the encoding is
+ *         smaller AND the expansion check passes; else keep packed.
+ *   On    like Auto but adopt an accepted encoding even when it is
+ *         not smaller (the CI byte-identity gate uses this to force
+ *         every compressible kernel through the expansion path).
+ */
+enum class TraceCompression : uint8_t { Off, Auto, On };
+
+TraceCompression traceCompression();
+void setTraceCompression(TraceCompression mode);
+
+/** Where recordKernelTrace's wall-clock time went, in seconds. */
+struct RecordTiming
+{
+    double recordSeconds = 0;   ///< workload + build + functional run
+    double verifySeconds = 0;   ///< record-time output oracle
+    double compressSeconds = 0; ///< compression attempt + expand check
+};
+
+/**
  * A captured dynamic instruction stream, stored packed (see
- * packed_trace.hh: 14 fixed bytes per instruction plus side tables,
- * vs. 56 bytes for a raw isa::DynInst). Result values are dropped at
- * record time — no timing model reads them, and the value-prediction
- * studies attach their sinks live to the Machine instead of replaying.
+ * packed_trace.hh) or loop-compressed (see compressed_trace.hh) —
+ * compress() decides which and drops the loser. Result values are
+ * dropped at record time — no timing model reads them, and the
+ * value-prediction studies attach their sinks live to the Machine
+ * instead of replaying.
  */
 class RecordedTrace : public isa::TraceSink
 {
@@ -58,27 +96,74 @@ class RecordedTrace : public isa::TraceSink
     sim::SimStats replay(const sim::MachineConfig &cfg) const;
 
     /** Dynamic instruction count (the 1-CPI machine's cycle count). */
-    uint64_t instructions() const { return packed.size(); }
+    uint64_t
+    instructions() const
+    {
+        return compressed_ ? comp.instructions() : packed.size();
+    }
 
-    bool empty() const { return packed.empty(); }
+    bool empty() const { return instructions() == 0; }
 
-    /** Bytes held by the packed encoding (fixed columns + tables). */
-    size_t packedBytes() const { return packed.packedBytes(); }
+    /**
+     * Bytes actually held by the stored representation: the packed
+     * columns + side tables, or the compressed skeleton + deltas +
+     * stitches. This is what BENCH_simspeed.json reports — measured,
+     * never extrapolated.
+     */
+    size_t storedBytes() const
+    {
+        return compressed_ ? comp.storedBytes() : packed.packedBytes();
+    }
 
-    /** Pre-size the encoding for an expected instruction count. */
+    /**
+     * Bytes the stream occupies (or occupied, before compress()
+     * dropped it) as a PackedTrace — the compression-ratio baseline.
+     */
+    size_t packedEquivalentBytes() const
+    {
+        return compressed_ ? packedBytesBeforeDrop : packed.packedBytes();
+    }
+
+    /** Pre-size the packed encoding for an expected instruction count. */
     void reserveInsts(size_t n) { packed.reserve(n); }
 
-    /** The underlying encoding; decode through a Reader cursor. */
-    const PackedTrace &stream() const { return packed; }
+    /**
+     * Attempt to replace the packed storage with the loop-compressed
+     * encoding under @p mode (no-op returning NotAttempted for Off).
+     * Returns why the stream did or did not compress; on any refusal
+     * the packed copy stays authoritative. Safe to call again (idempotent
+     * once compressed).
+     */
+    CompressOutcome compress(TraceCompression mode);
+
+    /** Whether replay expands the compressed encoding. */
+    bool isCompressed() const { return compressed_; }
+
+    /** Outcome of the last compress() call (NotAttempted before any). */
+    CompressOutcome compressOutcome() const { return outcome_; }
+
+    /**
+     * Decode whichever representation is stored into a standalone
+     * PackedTrace (a copy — use the replay paths for hot loops).
+     */
+    PackedTrace toPacked() const;
+
+    /** The compressed encoding; valid only when isCompressed(). */
+    const CompressedTrace &compressedStream() const { return comp; }
 
   private:
     PackedTrace packed;
+    CompressedTrace comp;
+    bool compressed_ = false;
+    CompressOutcome outcome_ = CompressOutcome::NotAttempted;
+    size_t packedBytesBeforeDrop = 0;
 };
 
 /**
  * Build the (cipher, variant, direction) kernel over the standard
  * deterministic workload for @p bytes, run it functionally exactly
- * once, and capture the trace. Increments functionalRuns().
+ * once, capture the trace, and apply the process-wide compression
+ * policy to it. Increments functionalRuns().
  *
  * Every recording is oracle-checked before any model replays it: the
  * machine's output buffer is compared byte-for-byte against the
@@ -86,12 +171,17 @@ class RecordedTrace : public isa::TraceSink
  * and must recover the plaintext). A mismatch throws
  * verify::VerifyError, so no timing figure can be computed from a
  * functionally wrong run.
+ *
+ * @p timing, when non-null, receives the wall-clock split between the
+ * functional run, the oracle, and the compression attempt — the bench
+ * drivers report these as separate phases.
  */
 RecordedTrace recordKernelTrace(crypto::CipherId cipher,
                                 kernels::KernelVariant variant,
                                 size_t bytes = session_bytes,
                                 kernels::KernelDirection direction
-                                    = kernels::KernelDirection::Encrypt);
+                                    = kernels::KernelDirection::Encrypt,
+                                RecordTiming *timing = nullptr);
 
 /**
  * Process-wide count of functional Machine interpretations performed

@@ -1,0 +1,88 @@
+#include "verify/expand_check.hh"
+
+#include <string_view>
+
+namespace cryptarch::verify
+{
+
+namespace
+{
+
+/**
+ * Field-by-field comparison so a mismatch report can name the culprit
+ * instead of "structs differ". Returns the offending field's name, or
+ * an empty view when the instructions agree.
+ */
+std::string_view
+firstDifference(const isa::DynInst &a, const isa::DynInst &b)
+{
+    if (a.seq != b.seq)
+        return "seq";
+    if (a.pc != b.pc)
+        return "pc";
+    if (a.op != b.op)
+        return "op";
+    if (a.cls != b.cls)
+        return "cls";
+    if (a.numSrcs != b.numSrcs)
+        return "numSrcs";
+    if (a.srcs != b.srcs)
+        return "srcs";
+    if (a.dest != b.dest)
+        return "dest";
+    if (a.isLoad != b.isLoad)
+        return "isLoad";
+    if (a.isStore != b.isStore)
+        return "isStore";
+    if (a.addr != b.addr)
+        return "addr";
+    if (a.size != b.size)
+        return "size";
+    if (a.addrSrc != b.addrSrc)
+        return "addrSrc";
+    if (a.branch != b.branch)
+        return "branch";
+    if (a.taken != b.taken)
+        return "taken";
+    if (a.nextPc != b.nextPc)
+        return "nextPc";
+    if (a.tableId != b.tableId)
+        return "tableId";
+    if (a.aliased != b.aliased)
+        return "aliased";
+    if (a.result != b.result)
+        return "result";
+    return {};
+}
+
+} // namespace
+
+bool
+verifyExpansion(const isa::PackedTrace &packed,
+                const isa::CompressedTrace &compressed, std::string *why)
+{
+    if (packed.size() != compressed.instructions()) {
+        if (why)
+            *why = "instruction counts differ: packed "
+                + std::to_string(packed.size()) + ", expanded "
+                + std::to_string(compressed.instructions());
+        return false;
+    }
+    auto pr = packed.reader();
+    auto cr = compressed.reader();
+    while (!pr.done()) {
+        const isa::DynInst want = pr.next();
+        const isa::DynInst got = cr.next();
+        const std::string_view field = firstDifference(want, got);
+        if (!field.empty()) {
+            if (why)
+                *why = "expansion diverges at seq "
+                    + std::to_string(want.seq) + " in field "
+                    + std::string(field);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cryptarch::verify

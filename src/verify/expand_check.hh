@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Differential check of compressed-trace expansion.
+ *
+ * A CompressedTrace is only allowed to REPLACE its PackedTrace source
+ * after this check proves, field by field and instruction by
+ * instruction, that the expanded stream is identical to the packed
+ * decode. That makes the driver's byte-identical-benchmarks guarantee
+ * structural: any benchmark replayed from a compressed trace consumed
+ * the exact DynInst sequence the packed trace would have produced, so
+ * figure JSON cannot depend on whether compression was enabled.
+ */
+
+#ifndef CRYPTARCH_VERIFY_EXPAND_CHECK_HH
+#define CRYPTARCH_VERIFY_EXPAND_CHECK_HH
+
+#include <string>
+
+#include "isa/compressed_trace.hh"
+#include "isa/packed_trace.hh"
+
+namespace cryptarch::verify
+{
+
+/**
+ * Expand @p compressed and compare every DynInst field against the
+ * decode of @p packed. Returns true when the streams are identical;
+ * on the first divergence returns false and, if @p why is non-null,
+ * describes the sequence number and field that differ.
+ */
+bool verifyExpansion(const isa::PackedTrace &packed,
+                     const isa::CompressedTrace &compressed,
+                     std::string *why = nullptr);
+
+} // namespace cryptarch::verify
+
+#endif // CRYPTARCH_VERIFY_EXPAND_CHECK_HH

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Loop-aware trace compression: detection, refusal paths, byte-exact
+ * expansion, and serialization integrity.
+ *
+ * Two suites, by design:
+ *   CompressedTrace   isa-level unit tests on synthetic streams plus
+ *                     serialization round-trip/corruption coverage.
+ *   CompressedReplay  driver-level properties — which kernels compress
+ *                     and which refuse, and that compression can never
+ *                     change a replayed stream or a simulated figure.
+ * The `compressed-replay` ctest label (tests/CMakeLists.txt) runs
+ * both, and CI additionally diffs a full tab02 grid with compression
+ * forced on against forced off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/trace.hh"
+#include "isa/compressed_trace.hh"
+#include "isa/packed_trace.hh"
+#include "util/xorshift.hh"
+#include "verify/expand_check.hh"
+
+namespace
+{
+
+using namespace cryptarch;
+using isa::CompressedTrace;
+using isa::CompressOutcome;
+using isa::PackedTrace;
+using isa::TraceErrorKind;
+using isa::TraceFormatError;
+using util::Xorshift64;
+
+isa::DynInst
+plainInst(uint64_t seq, uint32_t pc)
+{
+    isa::DynInst d;
+    d.seq = seq;
+    d.pc = pc;
+    d.nextPc = pc + 1;
+    return d;
+}
+
+/**
+ * Synthetic kernel shape: 3 setup instructions, then @p iters
+ * iterations of [affine load; store; backward branch], then one
+ * trailing instruction. With @p looseStore the store's address walks a
+ * data-dependent (non-affine) pattern — the RC4-swap shape the
+ * compressor must refuse; with @p sboxLoad the load becomes an SBOX
+ * lookup with a data-dependent address, which must still compress via
+ * an explicit per-iteration address table.
+ */
+PackedTrace
+makeLoopTrace(uint64_t iters, bool looseStore = false,
+              bool sboxLoad = false)
+{
+    PackedTrace t;
+    uint64_t seq = 0;
+    for (uint32_t pc = 0; pc < 3; pc++)
+        t.append(plainInst(seq++, pc));
+    for (uint64_t it = 0; it < iters; it++) {
+        isa::DynInst ld = plainInst(seq++, 3);
+        ld.isLoad = true;
+        ld.size = 4;
+        if (sboxLoad) {
+            ld.op = isa::Opcode::Sbox;
+            ld.addr = 0x1000 + ((it * 2654435761u) & 0xFF) * 4;
+        } else {
+            ld.addr = 0x1000 + 8 * it;
+        }
+        t.append(ld);
+
+        isa::DynInst st = plainInst(seq++, 4);
+        st.isStore = true;
+        st.size = 4;
+        st.addr = looseStore ? 0x2000 + ((it * 2654435761u) & 0xFF) * 4
+                             : 0x2000;
+        t.append(st);
+
+        isa::DynInst br = plainInst(seq++, 5);
+        br.branch = true;
+        br.taken = it + 1 < iters;
+        br.nextPc = br.taken ? 3 : 6;
+        t.append(br);
+    }
+    t.append(plainInst(seq++, 6));
+    return t;
+}
+
+// ---------------------------------------------------------------------------
+// CompressedTrace: synthetic streams
+
+TEST(CompressedTrace, SyntheticLoopCompressesAndExpandsExactly)
+{
+    auto packed = makeLoopTrace(12);
+    CompressedTrace c;
+    ASSERT_EQ(CompressedTrace::compress(packed, c),
+              CompressOutcome::Accepted);
+    // The prefix absorbs the setup and the first iteration, so 11 of
+    // the 12 iterations are stored as deltas over a 3-slot body.
+    EXPECT_EQ(c.bodyLength(), 3u);
+    EXPECT_EQ(c.iterations(), 11u);
+    EXPECT_EQ(c.instructions(), packed.size());
+    std::string why;
+    EXPECT_TRUE(verify::verifyExpansion(packed, c, &why)) << why;
+    EXPECT_LT(c.storedBytes(), packed.packedBytes());
+}
+
+TEST(CompressedTrace, LooseStoreAddressesRefuse)
+{
+    auto packed = makeLoopTrace(12, /*looseStore=*/true);
+    CompressedTrace c;
+    EXPECT_EQ(CompressedTrace::compress(packed, c),
+              CompressOutcome::LooseAddresses);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(CompressedTrace, SboxAddressesCompressViaExplicitTable)
+{
+    // The same data-dependent address walk that refuses on a plain
+    // store is the expected shape for an SBOX lookup — the compressor
+    // keeps those as one u32 per iteration.
+    auto packed = makeLoopTrace(12, /*looseStore=*/false,
+                                /*sboxLoad=*/true);
+    CompressedTrace c;
+    ASSERT_EQ(CompressedTrace::compress(packed, c),
+              CompressOutcome::Accepted);
+    std::string why;
+    EXPECT_TRUE(verify::verifyExpansion(packed, c, &why)) << why;
+}
+
+TEST(CompressedTrace, TooFewIterationsRefuse)
+{
+    auto packed = makeLoopTrace(6);
+    CompressedTrace c;
+    EXPECT_EQ(CompressedTrace::compress(packed, c),
+              CompressOutcome::NoLoop);
+}
+
+TEST(CompressedTrace, StraightLineStreamRefuses)
+{
+    PackedTrace t;
+    for (uint64_t i = 0; i < 64; i++)
+        t.append(plainInst(i, static_cast<uint32_t>(i)));
+    CompressedTrace c;
+    EXPECT_EQ(CompressedTrace::compress(t, c), CompressOutcome::NoLoop);
+}
+
+TEST(CompressedTrace, ExpandedSeqIsGloballyRenumbered)
+{
+    auto packed = makeLoopTrace(16);
+    CompressedTrace c;
+    ASSERT_EQ(CompressedTrace::compress(packed, c),
+              CompressOutcome::Accepted);
+    uint64_t i = 0;
+    for (auto r = c.reader(); !r.done(); i++)
+        ASSERT_EQ(r.next().seq, i);
+    EXPECT_EQ(i, packed.size());
+}
+
+// ---------------------------------------------------------------------------
+// CompressedTrace: serialization
+
+std::vector<uint8_t>
+compressedStream(uint64_t iters = 16)
+{
+    auto packed = makeLoopTrace(iters, false, /*sboxLoad=*/true);
+    CompressedTrace c;
+    if (CompressedTrace::compress(packed, c) != CompressOutcome::Accepted)
+        throw std::logic_error("synthetic stream must compress");
+    return c.serialize();
+}
+
+TEST(CompressedTrace, SerializeRoundTripsBitExactly)
+{
+    auto bytes = compressedStream();
+    auto c = CompressedTrace::deserialize(bytes);
+    EXPECT_EQ(c.serialize(), bytes);
+
+    auto packed = makeLoopTrace(16, false, true);
+    std::string why;
+    EXPECT_TRUE(verify::verifyExpansion(packed, c, &why)) << why;
+}
+
+TEST(CompressedTrace, RejectsBadMagic)
+{
+    auto bytes = compressedStream();
+    bytes[0] = 'X';
+    try {
+        CompressedTrace::deserialize(bytes);
+        FAIL() << "bad magic accepted";
+    } catch (const TraceFormatError &e) {
+        EXPECT_EQ(e.kind(), TraceErrorKind::BadMagic);
+    }
+}
+
+TEST(CompressedTrace, RejectsBadVersion)
+{
+    auto bytes = compressedStream();
+    bytes[4] = 0xFF;
+    try {
+        CompressedTrace::deserialize(bytes);
+        FAIL() << "bad version accepted";
+    } catch (const TraceFormatError &e) {
+        EXPECT_EQ(e.kind(), TraceErrorKind::BadVersion);
+    }
+}
+
+TEST(CompressedTrace, RejectsTruncation)
+{
+    auto bytes = compressedStream();
+    for (size_t keep : {size_t{0}, size_t{3}, size_t{71}, size_t{72},
+                        bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+        EXPECT_THROW(CompressedTrace::deserialize(cut), TraceFormatError)
+            << "accepted " << keep << " of " << bytes.size() << " bytes";
+    }
+}
+
+TEST(CompressedTrace, RejectsPayloadCorruption)
+{
+    auto bytes = compressedStream();
+    bytes[bytes.size() - 10] ^= 0x40; // inside the embedded suffix blob
+    try {
+        CompressedTrace::deserialize(bytes);
+        FAIL() << "corrupted payload accepted";
+    } catch (const TraceFormatError &e) {
+        EXPECT_EQ(e.kind(), TraceErrorKind::BadChecksum);
+    }
+}
+
+TEST(CompressedTrace, FuzzedCorruptionNeverCrashesReader)
+{
+    // Same contract as the PackedTrace fuzz: every random corruption
+    // is rejected with a typed error — the payload is checksummed,
+    // header counts are bounds- and sum-checked, slot fields are
+    // range-checked and the delta tables must match the slot modes.
+    auto bytes = compressedStream(32);
+    Xorshift64 rng(0xC0DEC);
+    for (int iter = 0; iter < 400; iter++) {
+        auto corrupt = bytes;
+        const int flips = 1 + static_cast<int>(rng.next() % 4);
+        for (int f = 0; f < flips; f++)
+            corrupt[rng.next() % corrupt.size()] ^=
+                static_cast<uint8_t>(1u << (rng.next() % 8));
+        if (corrupt == bytes)
+            continue;
+        try {
+            auto c = CompressedTrace::deserialize(corrupt);
+            for (auto r = c.reader(); !r.done();)
+                r.next();
+            FAIL() << "corrupted stream accepted at iter " << iter;
+        } catch (const TraceFormatError &) {
+            // expected: typed rejection, no UB
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CompressedReplay: driver-level policy and kernel properties
+
+/** Restores the process-wide compression mode after each test. */
+class CompressedReplay : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        driver::setTraceCompression(driver::TraceCompression::Auto);
+    }
+};
+
+TEST_F(CompressedReplay, Rc4SwapStoresRefuseCompression)
+{
+    // RC4's inner loop swaps S[i] and S[j] through plain stores at
+    // data-dependent addresses: exactly the stream the compressor must
+    // refuse, falling back to full packed storage with no change.
+    driver::setTraceCompression(driver::TraceCompression::On);
+    auto trace = driver::recordKernelTrace(crypto::CipherId::RC4,
+                                           kernels::KernelVariant::Optimized);
+    EXPECT_FALSE(trace.isCompressed());
+    EXPECT_EQ(trace.compressOutcome(), CompressOutcome::LooseAddresses);
+    EXPECT_EQ(trace.storedBytes(), trace.packedEquivalentBytes());
+}
+
+TEST_F(CompressedReplay, ShortSessionRefusesCompression)
+{
+    // One block => the loop-close branch never repeats: setup-only
+    // shapes stay packed.
+    driver::setTraceCompression(driver::TraceCompression::On);
+    auto trace = driver::recordKernelTrace(
+        crypto::CipherId::Rijndael, kernels::KernelVariant::Optimized, 16);
+    EXPECT_FALSE(trace.isCompressed());
+    EXPECT_EQ(trace.compressOutcome(), CompressOutcome::NoLoop);
+}
+
+TEST_F(CompressedReplay, OffModeNeverAttempts)
+{
+    driver::setTraceCompression(driver::TraceCompression::Off);
+    auto trace = driver::recordKernelTrace(
+        crypto::CipherId::Rijndael, kernels::KernelVariant::Optimized, 512);
+    EXPECT_FALSE(trace.isCompressed());
+    EXPECT_EQ(trace.compressOutcome(), CompressOutcome::NotAttempted);
+}
+
+TEST_F(CompressedReplay, BlockCipherCompressesManyFold)
+{
+    driver::setTraceCompression(driver::TraceCompression::Auto);
+    auto trace = driver::recordKernelTrace(crypto::CipherId::Rijndael,
+                                           kernels::KernelVariant::Optimized);
+    ASSERT_TRUE(trace.isCompressed());
+    EXPECT_EQ(trace.compressOutcome(), CompressOutcome::Accepted);
+    // The acceptance bar is >= 5x on block ciphers; the steady-state
+    // body of a full session should clear it comfortably.
+    EXPECT_GE(trace.packedEquivalentBytes(),
+              5 * trace.storedBytes())
+        << "stored " << trace.storedBytes() << " vs packed "
+        << trace.packedEquivalentBytes();
+}
+
+TEST_F(CompressedReplay, CompressionCannotChangeSimulatedFigures)
+{
+    driver::setTraceCompression(driver::TraceCompression::Off);
+    auto plain = driver::recordKernelTrace(crypto::CipherId::Rijndael,
+                                           kernels::KernelVariant::Optimized,
+                                           1024);
+    driver::setTraceCompression(driver::TraceCompression::On);
+    auto packed = driver::recordKernelTrace(crypto::CipherId::Rijndael,
+                                            kernels::KernelVariant::Optimized,
+                                            1024);
+    ASSERT_TRUE(packed.isCompressed());
+    // Identical streams...
+    EXPECT_EQ(plain.toPacked().serialize(), packed.toPacked().serialize());
+    // ...and identical stats out of a real timing model.
+    auto cfg = sim::MachineConfig::fourWidePlus();
+    auto a = plain.replay(cfg);
+    auto b = packed.replay(cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.sboxAccesses, b.sboxAccesses);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+}
+
+TEST_F(CompressedReplay, EveryCatalogKernelExpandsByteIdentically)
+{
+    // The tentpole property: for every (cipher, variant), whatever the
+    // loop detector decides, an adopted compressed stream must expand
+    // to the exact packed stream. Short sessions keep the sweep fast
+    // while still giving block ciphers dozens of steady iterations.
+    driver::setTraceCompression(driver::TraceCompression::Off);
+    const kernels::KernelVariant variants[] = {
+        kernels::KernelVariant::BaselineNoRot,
+        kernels::KernelVariant::BaselineRot,
+        kernels::KernelVariant::Optimized,
+        kernels::KernelVariant::OptimizedGrp,
+        kernels::KernelVariant::OptimizedFused,
+    };
+    for (auto id : driver::allCiphers()) {
+        for (auto variant : variants) {
+            SCOPED_TRACE(crypto::cipherInfo(id).name + "/"
+                         + kernels::variantName(variant));
+            auto trace = driver::recordKernelTrace(id, variant, 512);
+            const PackedTrace packed = trace.toPacked();
+            CompressedTrace c;
+            const auto outcome = CompressedTrace::compress(packed, c);
+            if (outcome != CompressOutcome::Accepted)
+                continue; // refusal == packed storage: trivially exact
+            std::string why;
+            EXPECT_TRUE(verify::verifyExpansion(packed, c, &why)) << why;
+            // Re-encoding the expanded stream reproduces the packed
+            // serialization byte for byte.
+            PackedTrace reencoded;
+            reencoded.reserve(c.instructions());
+            for (auto r = c.reader(); !r.done();)
+                reencoded.append(r.next(), /*keepResult=*/true);
+            EXPECT_EQ(reencoded.serialize(), packed.serialize());
+        }
+    }
+}
+
+TEST_F(CompressedReplay, RecordTimingSplitsPhases)
+{
+    driver::RecordTiming timing;
+    auto trace = driver::recordKernelTrace(
+        crypto::CipherId::Rijndael, kernels::KernelVariant::Optimized, 512,
+        kernels::KernelDirection::Encrypt, &timing);
+    (void)trace;
+    EXPECT_GT(timing.recordSeconds, 0.0);
+    EXPECT_GE(timing.verifySeconds, 0.0);
+    EXPECT_GE(timing.compressSeconds, 0.0);
+}
+
+} // namespace

@@ -186,6 +186,31 @@ TEST(Driver, JsonEmitterWritesSchema)
     EXPECT_NE(json.find(expect.str()), std::string::npos);
 }
 
+TEST(Driver, JsonEscapesControlAndHighBitBytes)
+{
+    // Golden escape coverage, including bytes >= 0x80: a signed char
+    // promoted through the %x varargs conversion used to sign-extend
+    // 0x80 into "￿ff80". Every non-printable byte must come out
+    // as exactly one \u00xx escape.
+    const std::string nasty = std::string("A\t\"\\") + '\x1f' + '\x7f'
+        + '\x80' + '\xff' + 'Z';
+    std::string path = ::testing::TempDir() + "BENCH_escape.json";
+    driver::writeBenchJson(path, nasty, {});
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string json = buf.str();
+
+    EXPECT_NE(json.find("\"bench\": "
+                        "\"A\\t\\\"\\\\\\u001f\\u007f\\u0080\\u00ffZ\""),
+              std::string::npos)
+        << json;
+    EXPECT_EQ(json.find("ffff"), std::string::npos)
+        << "sign-extended escape leaked: " << json;
+}
+
 TEST(Driver, FailSoftSweepKeepsHealthyCells)
 {
     // Three cells: the middle one cannot even build (Rijndael session

@@ -162,8 +162,8 @@ TEST(PackedTrace, PackedBytesBeatDynInstSeveralFold)
                                            kernels::KernelVariant::Optimized);
     ASSERT_GT(trace.instructions(), 0u);
     const size_t rawBytes = trace.instructions() * sizeof(isa::DynInst);
-    EXPECT_LT(trace.packedBytes() * 3, rawBytes)
-        << "packed " << trace.packedBytes() << " vs raw " << rawBytes;
+    EXPECT_LT(trace.storedBytes() * 3, rawBytes)
+        << "stored " << trace.storedBytes() << " vs raw " << rawBytes;
 }
 
 TEST(PackedTrace, ClearEmptiesEverything)

@@ -32,7 +32,7 @@ kernelStream(size_t bytes = 512)
 {
     auto trace = driver::recordKernelTrace(
         crypto::CipherId::RC4, kernels::KernelVariant::Optimized, bytes);
-    return trace.stream().serialize();
+    return trace.toPacked().serialize();
 }
 
 /** Decode every instruction of @p t (drives the Reader bounds). */
@@ -61,8 +61,9 @@ TEST(TraceIntegrity, ReplayFromDeserializedTraceMatchesOriginal)
     auto trace = driver::recordKernelTrace(
         crypto::CipherId::Rijndael, kernels::KernelVariant::Optimized,
         512);
-    auto copy = PackedTrace::deserialize(trace.stream().serialize());
-    auto ra = trace.stream().reader();
+    const PackedTrace packed = trace.toPacked();
+    auto copy = PackedTrace::deserialize(packed.serialize());
+    auto ra = packed.reader();
     auto rb = copy.reader();
     while (!ra.done() && !rb.done()) {
         auto a = ra.next();

@@ -142,8 +142,9 @@ TEST(Replay, StreamPreservesSequenceNumbers)
     auto trace = driver::recordKernelTrace(crypto::CipherId::Rijndael,
                                            KernelVariant::Optimized);
     ASSERT_FALSE(trace.empty());
+    const auto packed = trace.toPacked();
     uint64_t i = 0;
-    for (auto r = trace.stream().reader(); !r.done(); i++)
+    for (auto r = packed.reader(); !r.done(); i++)
         ASSERT_EQ(r.next().seq, i);
     EXPECT_EQ(i, trace.instructions());
 }
