@@ -1,0 +1,270 @@
+#include "ssl/server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <queue>
+#include <thread>
+
+#include "util/xorshift.hh"
+
+namespace cryptarch::ssl
+{
+
+namespace
+{
+
+using util::Xorshift64;
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Exponential sample with the given mean (inverse CDF). */
+double
+expSample(Xorshift64 &rng, double mean)
+{
+    // 1 - nextDouble() is in (0, 1], so the log never sees zero.
+    return -std::log(1.0 - rng.nextDouble()) * mean;
+}
+
+/** Standard normal sample (Box-Muller, one value per pair of draws). */
+double
+normalSample(Xorshift64 &rng)
+{
+    double u1 = 1.0 - rng.nextDouble(); // (0, 1]
+    double u2 = rng.nextDouble();
+    return std::sqrt(-2.0 * std::log(u1))
+        * std::cos(2.0 * 3.141592653589793 * u2);
+}
+
+/** Geometric number of requests with the given mean, in [1, 64]. */
+uint32_t
+requestCount(Xorshift64 &rng, double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    double p = 1.0 / mean;
+    double u = 1.0 - rng.nextDouble(); // (0, 1]
+    double k = 1.0 + std::floor(std::log(u) / std::log(1.0 - p));
+    return static_cast<uint32_t>(std::clamp(k, 1.0, 64.0));
+}
+
+/**
+ * Per-session CBC chain carried across requests. Block ciphers advance
+ * a real chain block through the session's bulk cipher (one shared key
+ * schedule per simulation — the chain models the *state*, key agility
+ * is billed through ServerRates::keySetupCycles); RC4 keeps a 64-bit
+ * keystream-style mix. Either way the final fold feeds the population
+ * digest.
+ */
+class ChainState
+{
+  public:
+    explicit ChainState(const crypto::BlockCipher *cipher,
+                        unsigned block_bytes, uint64_t iv)
+        : cipher_(cipher), blockBytes_(block_bytes)
+    {
+        for (unsigned i = 0; i < blockBytes_ && i < sizeof(block_); i++)
+            block_[i] = static_cast<uint8_t>(iv >> (8 * (i & 7)));
+        mix_ = iv;
+    }
+
+    void
+    absorbRequest(uint64_t request_bytes)
+    {
+        if (cipher_) {
+            for (unsigned i = 0; i < 8; i++)
+                block_[i] ^= static_cast<uint8_t>(request_bytes
+                                                  >> (8 * i));
+            cipher_->encryptBlock(block_, block_);
+        } else {
+            mix_ = splitmix64(mix_ ^ request_bytes);
+        }
+    }
+
+    uint64_t
+    fold() const
+    {
+        if (!cipher_)
+            return mix_;
+        uint64_t f = 0;
+        for (unsigned i = 0; i < 8; i++)
+            f |= static_cast<uint64_t>(block_[i]) << (8 * i);
+        return f;
+    }
+
+  private:
+    const crypto::BlockCipher *cipher_;
+    unsigned blockBytes_;
+    uint8_t block_[32] = {};
+    uint64_t mix_ = 0;
+};
+
+} // namespace
+
+ServerSimResult
+runServerSim(const ServerRates &rates, const ServerSimParams &params)
+{
+    const auto &info = crypto::cipherInfo(rates.cipher);
+    std::unique_ptr<crypto::BlockCipher> chain_cipher;
+    Xorshift64 rng(params.seed);
+    if (!info.isStream) {
+        chain_cipher = crypto::makeBlockCipher(rates.cipher);
+        chain_cipher->setKey(rng.bytes(info.keyBits / 8));
+    }
+
+    const uint64_t n = params.sessions;
+    ServerSimResult res;
+    res.sessions = n;
+    res.servers = params.servers;
+
+    // --- population pass: draw every session, compose its service ---
+    std::vector<double> service(n);
+    double handshake_sum = 0, setup_sum = 0, bulk_sum = 0, other_sum = 0;
+    double bytes_sum = 0, requests_sum = 0;
+    uint64_t digest = 0, resumed_count = 0;
+
+    for (uint64_t i = 0; i < n; i++) {
+        bool resumed = rng.nextDouble() < params.resumedFraction;
+        resumed_count += resumed;
+        double z = normalSample(rng);
+        double log2b = params.log2MedianBytes + params.log2SigmaBytes * z;
+        double b = std::exp2(log2b);
+        b = std::clamp(b, static_cast<double>(params.minBytes),
+                       static_cast<double>(params.maxBytes));
+        uint64_t bytes = static_cast<uint64_t>(b);
+        uint32_t requests =
+            requestCount(rng, params.meanRequestsPerSession);
+
+        // CBC chaining state carried across the session's requests:
+        // each boundary advances the running chain block, no fresh IV
+        // or key schedule mid-session.
+        ChainState chain(chain_cipher.get(), info.blockBytes, rng.next());
+        uint64_t per_req = bytes / requests, extra = bytes % requests;
+        for (uint32_t r = 0; r < requests; r++)
+            chain.absorbRequest(per_req + (r < extra ? 1 : 0));
+        digest ^= splitmix64(chain.fold()
+                             ^ (i * 0x9E3779B97F4A7C15ull));
+
+        // Resumed sessions skip the RSA private op but still derive
+        // fresh session keys (the full key schedule); follow-on
+        // requests ride the kept-alive connection at a fraction of
+        // the first request's overhead.
+        double handshake = resumed ? 0.0 : rates.serverHandshakeCycles;
+        double setup = rates.keySetupCycles;
+        double bulk = rates.prologueCycles * requests
+            + rates.cyclesPerByte * static_cast<double>(bytes);
+        double other = rates.requestOverheadCycles
+                * (1.0 + params.keepAliveFactor * (requests - 1))
+            + rates.perByteOverheadCycles * static_cast<double>(bytes);
+        service[i] = handshake + setup + bulk + other;
+
+        handshake_sum += handshake;
+        setup_sum += setup;
+        bulk_sum += bulk;
+        other_sum += other;
+        bytes_sum += static_cast<double>(bytes);
+        requests_sum += requests;
+    }
+
+    double total = handshake_sum + setup_sum + bulk_sum + other_sum;
+    res.meanServiceCycles = total / static_cast<double>(n);
+    res.meanSessionBytes = bytes_sum / static_cast<double>(n);
+    res.meanRequests = requests_sum / static_cast<double>(n);
+    res.resumedShare =
+        static_cast<double>(resumed_count) / static_cast<double>(n);
+    res.handshakeFraction = handshake_sum / total;
+    res.setupFraction = setup_sum / total;
+    res.bulkFraction = bulk_sum / total;
+    res.otherFraction = other_sum / total;
+    res.chainDigest = digest;
+
+    // --- load pass: FCFS M/G/c queue per offered-load factor ---
+    std::vector<double> latency(n);
+    for (size_t li = 0; li < params.loadFactors.size(); li++) {
+        double load = params.loadFactors[li];
+        // Capacity is servers/meanService sessions per cycle; the
+        // offered rate scales it by the load factor.
+        double lambda = load * params.servers / res.meanServiceCycles;
+        Xorshift64 arng(params.seed
+                        + 0x9E3779B97F4A7C15ull * (li + 1));
+
+        std::priority_queue<double, std::vector<double>,
+                            std::greater<double>>
+            free_at;
+        for (unsigned s = 0; s < params.servers; s++)
+            free_at.push(0.0);
+
+        double t = 0, makespan = 0;
+        for (uint64_t i = 0; i < n; i++) {
+            t += expSample(arng, 1.0 / lambda);
+            double f = free_at.top();
+            free_at.pop();
+            double start = std::max(t, f);
+            double done = start + service[i];
+            free_at.push(done);
+            latency[i] = done - t;
+            makespan = std::max(makespan, done);
+        }
+
+        ServerLoadPoint pt;
+        pt.loadFactor = load;
+        pt.offeredPerGcycle = lambda * 1e9;
+        pt.achievedPerGcycle = static_cast<double>(n) / makespan * 1e9;
+        pt.utilization = total / (params.servers * makespan);
+        double mean = 0;
+        for (double l : latency)
+            mean += l;
+        pt.meanCycles = mean / static_cast<double>(n);
+        auto pct = [&](double q) {
+            size_t k = static_cast<size_t>(
+                q * static_cast<double>(n - 1));
+            std::nth_element(latency.begin(), latency.begin() + k,
+                             latency.end());
+            return latency[k];
+        };
+        pt.p50Cycles = pct(0.50);
+        pt.p95Cycles = pct(0.95);
+        pt.p99Cycles = pct(0.99);
+        res.points.push_back(pt);
+    }
+    return res;
+}
+
+std::vector<ServerSimResult>
+runServerSims(const std::vector<ServerRates> &rates,
+              const ServerSimParams &params, unsigned threads)
+{
+    std::vector<ServerSimResult> results(rates.size());
+    if (rates.empty())
+        return results;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (!threads)
+        threads = hw ? hw : 1;
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(rates.size()));
+
+    // Pre-assigned result slots: worker scheduling cannot reorder or
+    // interleave output, so any thread count yields identical results.
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < rates.size();
+             i = next.fetch_add(1))
+            results[i] = runServerSim(rates[i], params);
+    };
+    std::vector<std::thread> pool;
+    for (unsigned i = 1; i < threads; i++)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+} // namespace cryptarch::ssl

@@ -44,8 +44,38 @@ class Xorshift64
     /** Next byte. */
     uint8_t nextByte() { return static_cast<uint8_t>(next() >> 56); }
 
-    /** Uniform value in [0, bound). @p bound must be nonzero. */
-    uint64_t nextBelow(uint64_t bound) { return next() % bound; }
+    /**
+     * Uniform value in [0, bound). @p bound must be nonzero.
+     *
+     * Rejection sampling: a plain `next() % bound` over-weights the
+     * low residues whenever 2^64 is not a multiple of @p bound (for
+     * bound = 3·2^62 the bottom quarter of the range is drawn twice
+     * as often). Draws below `2^64 mod bound` are discarded so every
+     * residue keeps exactly floor(2^64 / bound) preimages; the
+     * expected number of retries is below one for any bound.
+     */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        const uint64_t threshold = -bound % bound; // 2^64 mod bound
+        uint64_t r = next();
+        while (r < threshold)
+            r = next();
+        return r % bound;
+    }
+
+    /**
+     * Uniform double in [0, 1): the top 53 bits of one draw scaled by
+     * 2^-53, so every value is an exact dyadic rational and 1.0 is
+     * never returned. Feeds inverse-CDF sampling (exponential
+     * inter-arrival gaps, log-normal session lengths) in the server
+     * workload model.
+     */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Fill @p n bytes of reproducible pseudo-random data. */
     std::vector<uint8_t>

@@ -62,7 +62,7 @@ TEST_P(RsaRoundtrip, CrtMatchesPlainExponentiation)
 {
     Xorshift64 rng(40 + GetParam());
     RsaKey key = generateRsaKey(GetParam(), rng);
-    for (int i = 0; i < 3; i++) {
+    for (int i = 0; i < 8; i++) {
         BigInt c = BigInt::mod(BigInt::randomBits(GetParam(), rng),
                                key.n);
         EXPECT_EQ(rsaPrivate(c, key), rsaPrivateNoCrt(c, key));
@@ -71,6 +71,22 @@ TEST_P(RsaRoundtrip, CrtMatchesPlainExponentiation)
 
 INSTANTIATE_TEST_SUITE_P(KeySizes, RsaRoundtrip,
                          ::testing::Values(256u, 384u, 512u));
+
+// CRT equivalence at the boundary messages, where a wrong CRT
+// recombination is likeliest to show: 0 and 1 are fixed points, and
+// n-1 maps to itself under any odd exponent.
+TEST(Rsa, CrtMatchesPlainOnEdgeMessages)
+{
+    Xorshift64 rng(123);
+    RsaKey key = generateRsaKey(384, rng);
+    const BigInt edges[] = {BigInt(0), BigInt(1),
+                            BigInt::sub(key.n, BigInt(1))};
+    for (const BigInt &m : edges) {
+        BigInt c = rsaPublic(m, key);
+        EXPECT_EQ(rsaPrivate(c, key), rsaPrivateNoCrt(c, key));
+        EXPECT_EQ(rsaPrivate(c, key), m);
+    }
+}
 
 TEST(Rsa, CrtIsCheaperThanPlain)
 {

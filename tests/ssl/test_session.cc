@@ -19,6 +19,65 @@ fastParams()
     return p;
 }
 
+// Accounting regression: the server's public-key bill is the CRT
+// private operation alone. The client's rsaPublic multiplies are
+// measured in their own counter window and must never inflate the
+// server column (they used to: one reset covered both sides).
+TEST(SessionModel, HandshakeBillsOnlyServerWork)
+{
+    auto ops = ssl::measureHandshakeOps(512);
+    EXPECT_GT(ops.clientMulOps, 0u);
+    EXPECT_GT(ops.serverMulOps, 2 * ops.clientMulOps);
+
+    SessionModelParams p = fastParams();
+    SessionModel model(crypto::CipherId::TripleDES, p);
+    EXPECT_DOUBLE_EQ(model.handshakeCycles(),
+                     static_cast<double>(ops.serverMulOps)
+                         * p.cyclesPerWordMul);
+    EXPECT_DOUBLE_EQ(model.clientHandshakeCycles(),
+                     static_cast<double>(ops.clientMulOps)
+                         * p.cyclesPerWordMul);
+}
+
+// Accounting regression: the reported cycles/byte is the marginal
+// slope between two probes, so it cannot depend on which probe sizes
+// were used — the old single-probe rate folded the one-time kernel
+// prologue into the rate and shrank as the probe grew.
+TEST(SessionModel, BulkRateIsProbeSizeInvariant)
+{
+    SessionModelParams a = fastParams(); // default 2048/4096 probes
+    SessionModelParams b = fastParams();
+    b.probeBytesLo = 4096;
+    b.probeBytesHi = 8192;
+    SessionModel ma(crypto::CipherId::TripleDES, a);
+    SessionModel mb(crypto::CipherId::TripleDES, b);
+    EXPECT_NEAR(mb.bulkCyclesPerByte() / ma.bulkCyclesPerByte(), 1.0,
+                0.01);
+    EXPECT_GT(ma.prologueCycles(), 0.0);
+    // The prologue is one-time work, a fraction of a 2 KB probe.
+    EXPECT_LT(ma.prologueCycles(),
+              ma.bulkCyclesPerByte() * 2048);
+}
+
+// Golden cycle fractions for the deterministic 512-bit/3DES model.
+// The bands are ±0.03 absolute: wide enough for timing-model tuning,
+// tight enough to catch an accounting regression (re-billing the
+// client's public op to the server moves the 4 KB public fraction by
+// ~+0.02; folding the prologue back into the rate moves the private
+// fraction at every length).
+TEST(SessionModel, GoldenCycleFractions)
+{
+    SessionModel model(crypto::CipherId::TripleDES, fastParams());
+    auto c4 = model.cost(4096);
+    EXPECT_NEAR(c4.publicFraction(), 0.210, 0.03);
+    EXPECT_NEAR(c4.privateFraction(), 0.343, 0.03);
+    EXPECT_NEAR(c4.otherFraction(), 0.447, 0.03);
+    auto c32 = model.cost(32768);
+    EXPECT_NEAR(c32.publicFraction(), 0.061, 0.03);
+    EXPECT_NEAR(c32.privateFraction(), 0.780, 0.03);
+    EXPECT_NEAR(c32.otherFraction(), 0.158, 0.03);
+}
+
 TEST(SessionModel, FractionsSumToOne)
 {
     SessionModel model(crypto::CipherId::TripleDES, fastParams());
