@@ -1,0 +1,101 @@
+#include "isa/exec_backend.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "isa/machine.hh"
+#include "isa/threaded_machine.hh"
+
+namespace cryptarch::isa
+{
+
+const char *
+execBackendName(ExecBackendKind kind)
+{
+    switch (kind) {
+      case ExecBackendKind::Interpreter: return "interpreter";
+      case ExecBackendKind::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+void
+ExecBackend::scheduleFault(const InjectedFault &)
+{
+    throw std::logic_error(
+        std::string(execBackendName(kind()))
+        + " backend does not support fault injection; route fault runs "
+          "to the interpreter");
+}
+
+std::unique_ptr<ExecBackend>
+makeExecBackend(ExecBackendKind kind, size_t mem_bytes)
+{
+    switch (kind) {
+      case ExecBackendKind::Interpreter:
+        return std::make_unique<Machine>(mem_bytes);
+      case ExecBackendKind::Threaded:
+        return std::make_unique<ThreadedMachine>(mem_bytes);
+    }
+    throw std::invalid_argument("makeExecBackend: unknown backend kind");
+}
+
+namespace detail
+{
+
+void
+throwOobAccess(uint64_t addr, unsigned size, size_t mem_size,
+               bool is_store)
+{
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "%u-byte %s at addr=0x%llx beyond %zu-byte memory",
+                  size, is_store ? "store" : "load",
+                  static_cast<unsigned long long>(addr), mem_size);
+    throw Trap(is_store ? TrapCause::OobStore : TrapCause::OobLoad,
+               detail)
+        .withAccess(addr, size);
+}
+
+void
+throwMisaligned(uint64_t addr, unsigned size, bool is_store)
+{
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "misaligned %u-byte %s at addr=0x%llx", size,
+                  is_store ? "store" : "load",
+                  static_cast<unsigned long long>(addr));
+    throw Trap(TrapCause::Misaligned, detail).withAccess(addr, size);
+}
+
+void
+throwPcOverrun(uint32_t pc, size_t program_size)
+{
+    char detail[64];
+    std::snprintf(detail, sizeof(detail),
+                  "pc=%u beyond %zu-instruction program",
+                  static_cast<unsigned>(pc), program_size);
+    throw Trap(TrapCause::PcOverrun, detail);
+}
+
+void
+throwFuelExhausted(uint64_t max_insts)
+{
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "instruction limit %llu hit",
+                  static_cast<unsigned long long>(max_insts));
+    throw Trap(TrapCause::FuelExhausted, detail);
+}
+
+void
+throwInvalidSboxTable(unsigned table_id)
+{
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), "SBOX table id %u >= %u",
+                  table_id, max_sbox_tables);
+    throw Trap(TrapCause::InvalidSboxTable, detail).withTable(table_id);
+}
+
+} // namespace detail
+
+} // namespace cryptarch::isa

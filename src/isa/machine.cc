@@ -26,17 +26,7 @@ Machine::setReg(Reg r, uint64_t v)
 void
 Machine::checkAddr(uint64_t addr, unsigned size, bool isStore) const
 {
-    // Overflow-proof form of addr + size > mem.size().
-    if (addr > mem.size() || size > mem.size() - addr) {
-        char detail[96];
-        std::snprintf(detail, sizeof(detail),
-                      "%u-byte %s at addr=0x%llx beyond %zu-byte memory",
-                      size, isStore ? "store" : "load",
-                      static_cast<unsigned long long>(addr), mem.size());
-        throw Trap(isStore ? TrapCause::OobStore : TrapCause::OobLoad,
-                   detail)
-            .withAccess(addr, size);
-    }
+    detail::checkAddrRange(addr, size, mem.size(), isStore);
 }
 
 void
@@ -65,26 +55,7 @@ Machine::read32(uint64_t addr) const
     return static_cast<uint32_t>(loadSized(addr, 4));
 }
 
-namespace
-{
-
-/** Alpha-style natural alignment for sized accesses. */
-void
-checkAlign(uint64_t addr, unsigned size, bool isStore)
-{
-    if (size > 1 && (addr & (size - 1))) {
-        char detail[96];
-        std::snprintf(detail, sizeof(detail),
-                      "misaligned %u-byte %s at addr=0x%llx", size,
-                      isStore ? "store" : "load",
-                      static_cast<unsigned long long>(addr));
-        throw cryptarch::isa::Trap(cryptarch::isa::TrapCause::Misaligned,
-                                   detail)
-            .withAccess(addr, size);
-    }
-}
-
-} // namespace
+using detail::checkAlign;
 
 uint64_t
 Machine::loadSized(uint64_t addr, unsigned size) const
@@ -182,20 +153,10 @@ Machine::run(const Program &program, TraceSink *sink, uint64_t max_insts)
 
     try {
     while (true) {
-        if (pc >= program.size()) {
-            char detail[64];
-            std::snprintf(detail, sizeof(detail),
-                          "pc=%u beyond %zu-instruction program",
-                          static_cast<unsigned>(pc), program.size());
-            throw Trap(TrapCause::PcOverrun, detail);
-        }
-        if (stats.instructions >= max_insts) {
-            char detail[64];
-            std::snprintf(detail, sizeof(detail),
-                          "instruction limit %llu hit",
-                          static_cast<unsigned long long>(max_insts));
-            throw Trap(TrapCause::FuelExhausted, detail);
-        }
+        if (pc >= program.size())
+            detail::throwPcOverrun(pc, program.size());
+        if (stats.instructions >= max_insts)
+            detail::throwFuelExhausted(max_insts);
         if (!faults.empty())
             applyFaults(stats.instructions);
 
@@ -384,15 +345,8 @@ Machine::run(const Program &program, TraceSink *sink, uint64_t max_insts)
           case Opcode::Sboxx: {
             addSrc(inst.ra);
             addSrc(inst.rb);
-            if (inst.tableId >= max_sbox_tables) {
-                char detail[64];
-                std::snprintf(detail, sizeof(detail),
-                              "SBOX table id %u >= %u",
-                              static_cast<unsigned>(inst.tableId),
-                              max_sbox_tables);
-                throw Trap(TrapCause::InvalidSboxTable, detail)
-                    .withTable(inst.tableId);
-            }
+            if (inst.tableId >= max_sbox_tables)
+                detail::throwInvalidSboxTable(inst.tableId);
             uint64_t index = (regs[inst.rb.n] >> (8 * inst.byteSel))
                 & 0xFF;
             uint64_t addr = (a & ~0x3FFull) | (index << 2);

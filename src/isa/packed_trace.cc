@@ -51,10 +51,9 @@ PackedTrace::sizeCode(uint8_t size)
     }
 }
 
-void
-PackedTrace::append(const DynInst &inst, bool keepResult)
+uint16_t
+PackedTrace::packRowBase(const DynInst &inst, uint8_t (&row)[row_bytes])
 {
-    assert(inst.seq == size() && "seq must equal append index");
     assert(inst.numSrcs <= 3);
 
     uint16_t flags = inst.numSrcs & num_srcs_mask;
@@ -69,56 +68,65 @@ PackedTrace::append(const DynInst &inst, bool keepResult)
     if (inst.aliased)
         flags |= f_aliased;
     flags |= sizeCode(inst.size) << size_code_shift;
+    if (inst.nextPc != inst.pc + 1)
+        flags |= f_next_pc_exc;
 
+    row[off_pc] = static_cast<uint8_t>(inst.pc);
+    row[off_pc + 1] = static_cast<uint8_t>(inst.pc >> 8);
+    row[off_pc + 2] = static_cast<uint8_t>(inst.pc >> 16);
+    row[off_pc + 3] = static_cast<uint8_t>(inst.pc >> 24);
+    row[off_op] = static_cast<uint8_t>(inst.op);
+    row[off_cls] = static_cast<uint8_t>(inst.cls);
+    row[off_dest] = inst.dest;
+    row[off_addr_src] = inst.addrSrc;
+    row[off_table_id] = inst.tableId;
+    row[off_srcs] = inst.srcs[0];
+    row[off_srcs + 1] = inst.srcs[1];
+    row[off_srcs + 2] = inst.srcs[2];
+    row[off_flags] = static_cast<uint8_t>(flags);
+    row[off_flags + 1] = static_cast<uint8_t>(flags >> 8);
+    return flags;
+}
+
+void
+PackedTrace::append(const DynInst &inst, bool keepResult)
+{
+    assert(inst.seq == size() && "seq must equal append index");
+
+    uint8_t row[row_bytes];
+    uint16_t flags = packRowBase(inst, row);
     if (inst.addr != 0) {
         flags |= f_has_addr;
-        if (inst.addr >> 32) {
+        if (inst.addr >> 32)
             flags |= f_wide_addr;
-            addrWide_.push_back(inst.addr);
-        } else {
-            addr32_.push_back(static_cast<uint32_t>(inst.addr));
-        }
     }
-    if (inst.nextPc != inst.pc + 1) {
-        flags |= f_next_pc_exc;
-        nextPcExc_.push_back(inst.nextPc);
-    }
-    if (keepResult && inst.result != 0) {
+    if (keepResult && inst.result != 0)
         flags |= f_has_result;
-        result_.push_back(inst.result);
-    }
+    appendRow(row, flags, inst.addr, inst.nextPc, inst.result);
+}
 
-    pc_.push_back(inst.pc);
-    op_.push_back(static_cast<uint8_t>(inst.op));
-    cls_.push_back(static_cast<uint8_t>(inst.cls));
-    dest_.push_back(inst.dest);
-    addrSrc_.push_back(inst.addrSrc);
-    tableId_.push_back(inst.tableId);
-    srcs_.push_back(inst.srcs[0]);
-    srcs_.push_back(inst.srcs[1]);
-    srcs_.push_back(inst.srcs[2]);
-    flags_.push_back(flags);
+void
+PackedTrace::Stage::flush(PackedTrace &t)
+{
+    t.fixed_.insert(t.fixed_.end(), rows, rows + nRows);
+    t.addr32_.insert(t.addr32_.end(), addr32, addr32 + nAddr32);
+    t.addrWide_.insert(t.addrWide_.end(), addrWide, addrWide + nWide);
+    t.nextPcExc_.insert(t.nextPcExc_.end(), nextPcExc,
+                        nextPcExc + nNextPc);
+    t.result_.insert(t.result_.end(), result, result + nResult);
+    nRows = nAddr32 = nWide = nNextPc = nResult = 0;
 }
 
 void
 PackedTrace::reserve(size_t n)
 {
-    pc_.reserve(n);
-    op_.reserve(n);
-    cls_.reserve(n);
-    dest_.reserve(n);
-    addrSrc_.reserve(n);
-    tableId_.reserve(n);
-    srcs_.reserve(3 * n);
-    flags_.reserve(n);
+    fixed_.reserve(n);
 }
 
 size_t
 PackedTrace::packedBytes() const
 {
-    return pc_.size() * sizeof(uint32_t) + op_.size() + cls_.size()
-        + dest_.size() + addrSrc_.size() + tableId_.size() + srcs_.size()
-        + flags_.size() * sizeof(uint16_t)
+    return fixed_.size() * row_bytes
         + addr32_.size() * sizeof(uint32_t)
         + addrWide_.size() * sizeof(uint64_t)
         + nextPcExc_.size() * sizeof(uint32_t)
@@ -208,21 +216,26 @@ PackedTrace::serialize() const
     out.reserve(header_bytes + packedBytes());
 
     // Payload first (appended after the header below); checksum needs
-    // it, so build it into a scratch buffer.
+    // it, so build it into a scratch buffer. The serialized payload is
+    // per-column even though the in-memory records are interleaved —
+    // the format (and its checksums in existing artifacts) predates
+    // the interleaving.
     std::vector<uint8_t> payload;
     payload.reserve(packedBytes());
-    for (uint32_t v : pc_)
-        putU32(payload, v);
-    payload.insert(payload.end(), op_.begin(), op_.end());
-    payload.insert(payload.end(), cls_.begin(), cls_.end());
-    payload.insert(payload.end(), dest_.begin(), dest_.end());
-    payload.insert(payload.end(), addrSrc_.begin(), addrSrc_.end());
-    payload.insert(payload.end(), tableId_.begin(), tableId_.end());
-    payload.insert(payload.end(), srcs_.begin(), srcs_.end());
-    for (uint16_t v : flags_) {
-        payload.push_back(static_cast<uint8_t>(v));
-        payload.push_back(static_cast<uint8_t>(v >> 8));
-    }
+    auto row = [&](size_t i) { return fixed_[i].data(); };
+    auto gather = [&](size_t off, size_t len) {
+        for (size_t i = 0; i < n; i++)
+            payload.insert(payload.end(), row(i) + off,
+                           row(i) + off + len);
+    };
+    gather(off_pc, 4);
+    gather(off_op, 1);
+    gather(off_cls, 1);
+    gather(off_dest, 1);
+    gather(off_addr_src, 1);
+    gather(off_table_id, 1);
+    gather(off_srcs, 3);
+    gather(off_flags, 2);
     for (uint32_t v : addr32_)
         putU32(payload, v);
     for (uint64_t v : addrWide_)
@@ -288,25 +301,21 @@ PackedTrace::deserialize(std::span<const uint8_t> bytes)
                                "payload checksum mismatch");
 
     PackedTrace t;
-    t.reserve(n);
-    t.pc_.resize(n);
-    for (uint64_t i = 0; i < n; i++)
-        t.pc_[i] = cur.u32();
-    auto column = [&](std::vector<uint8_t> &col) {
-        col.assign(bytes.begin() + cur.pos, bytes.begin() + cur.pos + n);
-        cur.pos += n;
+    t.fixed_.resize(n);
+    auto scatter = [&](size_t off, size_t len) {
+        for (uint64_t i = 0; i < n; i++)
+            std::memcpy(t.fixed_[i].data() + off,
+                        bytes.data() + cur.pos + i * len, len);
+        cur.pos += n * len;
     };
-    column(t.op_);
-    column(t.cls_);
-    column(t.dest_);
-    column(t.addrSrc_);
-    column(t.tableId_);
-    t.srcs_.assign(bytes.begin() + cur.pos,
-                   bytes.begin() + cur.pos + 3 * n);
-    cur.pos += 3 * n;
-    t.flags_.resize(n);
-    for (uint64_t i = 0; i < n; i++)
-        t.flags_[i] = cur.u16();
+    scatter(off_pc, 4);
+    scatter(off_op, 1);
+    scatter(off_cls, 1);
+    scatter(off_dest, 1);
+    scatter(off_addr_src, 1);
+    scatter(off_table_id, 1);
+    scatter(off_srcs, 3);
+    scatter(off_flags, 2);
     t.addr32_.resize(nAddr32);
     for (uint64_t i = 0; i < nAddr32; i++)
         t.addr32_[i] = cur.u32();
@@ -334,17 +343,18 @@ PackedTrace::validateConsistency() const
     };
     size_t wantAddr32 = 0, wantAddrWide = 0, wantNextPc = 0,
            wantResult = 0;
-    for (size_t i = 0; i < flags_.size(); i++) {
-        const uint16_t flags = flags_[i];
+    for (size_t i = 0; i < size(); i++) {
+        const uint8_t *row = fixed_[i].data();
+        const uint16_t flags = rowFlags(row);
         if (flags & ~((1u << 14) - 1))
             fail(i, "reserved flag bits set");
         const unsigned code = (flags >> size_code_shift) & size_code_mask;
         if (code >= sizeof(size_table))
             fail(i, "size code " + std::to_string(code));
-        if (op_[i] > static_cast<uint8_t>(Opcode::Sboxx))
-            fail(i, "opcode " + std::to_string(op_[i]));
-        if (cls_[i] >= num_op_classes)
-            fail(i, "op class " + std::to_string(cls_[i]));
+        if (row[off_op] > static_cast<uint8_t>(Opcode::Sboxx))
+            fail(i, "opcode " + std::to_string(row[off_op]));
+        if (row[off_cls] >= num_op_classes)
+            fail(i, "op class " + std::to_string(row[off_cls]));
         if ((flags & f_wide_addr) && !(flags & f_has_addr))
             fail(i, "wide-addr flag without has-addr");
         if (flags & f_has_addr)
@@ -365,14 +375,7 @@ PackedTrace::validateConsistency() const
 void
 PackedTrace::clear()
 {
-    pc_.clear();
-    op_.clear();
-    cls_.clear();
-    dest_.clear();
-    addrSrc_.clear();
-    tableId_.clear();
-    srcs_.clear();
-    flags_.clear();
+    fixed_.clear();
     addr32_.clear();
     addrWide_.clear();
     nextPcExc_.clear();

@@ -1,0 +1,885 @@
+#include "isa/threaded_machine.hh"
+
+#include <algorithm>
+
+#include "crypto/idea.hh"
+#include "util/bitops.hh"
+
+// Dispatch strategy: direct-threaded computed goto on GNU-compatible
+// compilers, a dense switch-in-loop everywhere else (or when forced
+// with -DCRYPTARCH_THREADED_SWITCH, which CI uses to keep the portable
+// path compiling). Handler bodies are shared between the two modes;
+// only VM_CASE/VM_DISPATCH differ.
+#if !defined(CRYPTARCH_THREADED_SWITCH) \
+    && (defined(__GNUC__) || defined(__clang__))
+#define CRYPTARCH_THREADED_GOTO 1
+#endif
+
+namespace cryptarch::isa
+{
+
+using util::rotl32;
+using util::rotl64;
+using util::rotr32;
+using util::rotr64;
+
+namespace
+{
+
+constexpr uint64_t mask32 = 0xFFFFFFFFull;
+
+unsigned
+memSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldq:
+      case Opcode::Stq:
+        return 8;
+      case Opcode::Ldl:
+      case Opcode::Stl:
+        return 4;
+      case Opcode::Ldwu:
+      case Opcode::Stw:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+/** Little-endian sized load; unrolls to a single access on LE hosts. */
+template <unsigned N>
+inline uint64_t
+loadLE(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < N; i++)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Little-endian sized store; unrolls to a single access on LE hosts. */
+template <unsigned N>
+inline void
+storeLE(uint8_t *p, uint64_t v)
+{
+    for (unsigned i = 0; i < N; i++)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+// The binary ALU operations whose sources are (ra, rb-or-imm) and
+// whose only effect is writing rc. Each gets a register-form and an
+// immediate-form handler; the expressions are verbatim from the
+// interpreter so results match bit for bit.
+#define VM_ALU_OPS_SRC_AB(X)                                             \
+    X(Addq, a + b)                                                       \
+    X(Subq, a - b)                                                       \
+    X(Addl, (a + b) & mask32)                                            \
+    X(Subl, (a - b) & mask32)                                            \
+    X(And, a & b)                                                        \
+    X(Bis, a | b)                                                        \
+    X(Xor, a ^ b)                                                        \
+    X(Bic, a & ~b)                                                       \
+    X(Ornot, a | ~b)                                                     \
+    X(Sll, a << (b & 63))                                                \
+    X(Srl, a >> (b & 63))                                                \
+    X(Sra,                                                               \
+      static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63)))        \
+    X(Sll32, ((a & mask32) << (b & 31)) & mask32)                        \
+    X(Srl32, (a & mask32) >> (b & 31))                                   \
+    X(S4add, (a << 2) + b)                                               \
+    X(S8add, (a << 3) + b)                                               \
+    X(Cmpeq, static_cast<uint64_t>(a == b))                              \
+    X(Cmpult, static_cast<uint64_t>(a < b))                              \
+    X(Cmplt,                                                             \
+      static_cast<uint64_t>(static_cast<int64_t>(a)                      \
+                            < static_cast<int64_t>(b)))                  \
+    X(Mulq, a * b)                                                       \
+    X(Mull, (a * b) & mask32)                                            \
+    X(Rol, rotl64(a, b & 63))                                            \
+    X(Ror, rotr64(a, b & 63))                                            \
+    X(Rol32, rotl32(static_cast<uint32_t>(a), b & 31))                   \
+    X(Ror32, rotr32(static_cast<uint32_t>(a), b & 31))                   \
+    X(Mulmod,                                                            \
+      crypto::ideaMulMod(static_cast<uint16_t>(a),                       \
+                         static_cast<uint16_t>(b)))
+
+// EXTBL shares the binary-ALU shape but sources only ra (the byte
+// selector is not a dependence, matching the interpreter's addSrc).
+#define VM_ALU_OPS(X)                                                    \
+    VM_ALU_OPS_SRC_AB(X)                                                 \
+    X(Extbl, (a >> (8 * (b & 7))) & 0xFF)
+
+namespace
+{
+
+enum Handler : uint16_t
+{
+    H_Halt,
+    H_Br,
+    H_Beq,
+    H_Bne,
+    H_Blt,
+    H_Bge,
+    H_Ld1,
+    H_Ld2,
+    H_Ld4,
+    H_Ld8,
+    H_St1,
+    H_St2,
+    H_St4,
+    H_St8,
+    H_Cmoveq,
+    H_Cmovne,
+    H_Rolx32,
+    H_Rorx32,
+    H_Sbox,
+    H_SboxAlias,
+    H_Sboxx,
+    H_SboxxAlias,
+    H_SboxTrap,
+    H_Sboxsync,
+    H_Grp,
+    H_Xbox,
+    H_EmitOnly,
+#define X(name, expr) H_##name##R, H_##name##I,
+    VM_ALU_OPS(X)
+#undef X
+    H_Count
+};
+
+} // namespace
+
+ThreadedMachine::ThreadedMachine(size_t mem_bytes)
+    : mem_(mem_bytes, 0), frameSnap_((mem_bytes + 1023) / 1024, nullptr)
+{
+}
+
+void
+ThreadedMachine::setReg(Reg r, uint64_t v)
+{
+    if (r.n != reg_zero.n)
+        regs_[r.n] = v;
+}
+
+void
+ThreadedMachine::writeMem(uint64_t addr, const std::vector<uint8_t> &bytes)
+{
+    detail::checkAddrRange(addr, bytes.size(), mem_.size(),
+                           /*is_store=*/true);
+    std::copy(bytes.begin(), bytes.end(), mem_.begin() + addr);
+}
+
+std::vector<uint8_t>
+ThreadedMachine::readMem(uint64_t addr, size_t n) const
+{
+    detail::checkAddrRange(addr, n, mem_.size(), /*is_store=*/false);
+    return {mem_.begin() + addr, mem_.begin() + addr + n};
+}
+
+void
+ThreadedMachine::write32(uint64_t addr, uint32_t v)
+{
+    detail::checkAddrRange(addr, 4, mem_.size(), /*is_store=*/true);
+    detail::checkAlign(addr, 4, /*is_store=*/true);
+    util::store32le(mem_.data() + addr, v);
+}
+
+uint32_t
+ThreadedMachine::read32(uint64_t addr) const
+{
+    detail::checkAddrRange(addr, 4, mem_.size(), /*is_store=*/false);
+    detail::checkAlign(addr, 4, /*is_store=*/false);
+    return util::load32le(mem_.data() + addr);
+}
+
+const uint8_t *
+ThreadedMachine::snapshotFrame(uint64_t frame)
+{
+    const uint64_t base = frame << 10;
+    // Same bounds rule as the interpreter's snapshot path: the whole
+    // 1 KB frame must be in memory, and the trap reports the frame
+    // base, not the faulting word.
+    detail::checkAddrRange(base, 1024, mem_.size(), /*is_store=*/false);
+    auto snap = std::make_unique<std::array<uint8_t, 1024>>();
+    std::copy(mem_.begin() + base, mem_.begin() + base + 1024,
+              snap->begin());
+    const uint8_t *p = snap->data();
+    frameSnap_[frame] = p;
+    snapStore_.push_back(std::move(snap));
+    return p;
+}
+
+void
+ThreadedMachine::clearSnapshots()
+{
+    if (snapStore_.empty())
+        return;
+    std::fill(frameSnap_.begin(), frameSnap_.end(), nullptr);
+    snapStore_.clear();
+}
+
+void
+ThreadedMachine::prepare(const Program &program)
+{
+    if (decodedFor_ != &program || decodedSize_ != program.size())
+        decode(program);
+}
+
+void
+ThreadedMachine::decode(const Program &program)
+{
+    code_.clear();
+    code_.reserve(program.size());
+
+    for (uint32_t pc = 0; pc < program.size(); pc++) {
+        const Inst &inst = program[pc];
+        DecodedInst d;
+        DynInst &t = d.tmpl;
+
+        t.pc = pc;
+        t.op = inst.op;
+        t.cls = opClass(inst);
+        t.tableId = inst.tableId;
+        t.aliased = inst.aliased;
+        t.nextPc = pc + 1;
+
+        d.imm = inst.imm;
+        d.target = static_cast<uint32_t>(inst.target);
+        d.ra = inst.ra.n;
+        d.rb = inst.rb.n;
+        d.rc = inst.rc.n;
+        d.byteSel = inst.byteSel;
+        d.bImm = inst.useImm;
+        d.writes = inst.writesDest();
+        if (d.writes)
+            t.dest = inst.rc.n;
+
+        // Same source-dependence rules as the interpreter's addSrc:
+        // R63 is never a source, at most three sources are recorded.
+        auto addSrc = [&t](Reg r) {
+            if (r.n != reg_zero.n && t.numSrcs < 3)
+                t.srcs[t.numSrcs++] = r.n;
+        };
+
+        switch (inst.op) {
+          case Opcode::Halt:
+            d.handler = H_Halt;
+            t.nextPc = 0;
+            break;
+
+          case Opcode::Br:
+            d.handler = H_Br;
+            t.branch = true;
+            t.taken = true;
+            t.nextPc = d.target;
+            break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+            addSrc(inst.ra);
+            t.branch = true;
+            switch (inst.op) {
+              case Opcode::Beq: d.handler = H_Beq; break;
+              case Opcode::Bne: d.handler = H_Bne; break;
+              case Opcode::Blt: d.handler = H_Blt; break;
+              default: d.handler = H_Bge; break;
+            }
+            break;
+
+          case Opcode::Ldq:
+          case Opcode::Ldl:
+          case Opcode::Ldwu:
+          case Opcode::Ldbu:
+            addSrc(inst.ra);
+            t.isLoad = true;
+            t.size = static_cast<uint8_t>(memSize(inst.op));
+            t.addrSrc = inst.ra.n;
+            switch (memSize(inst.op)) {
+              case 8: d.handler = H_Ld8; break;
+              case 4: d.handler = H_Ld4; break;
+              case 2: d.handler = H_Ld2; break;
+              default: d.handler = H_Ld1; break;
+            }
+            break;
+
+          case Opcode::Stq:
+          case Opcode::Stl:
+          case Opcode::Stw:
+          case Opcode::Stb:
+            addSrc(inst.ra);
+            addSrc(inst.rc); // store value
+            t.isStore = true;
+            t.size = static_cast<uint8_t>(memSize(inst.op));
+            t.addrSrc = inst.ra.n;
+            switch (memSize(inst.op)) {
+              case 8: d.handler = H_St8; break;
+              case 4: d.handler = H_St4; break;
+              case 2: d.handler = H_St2; break;
+              default: d.handler = H_St1; break;
+            }
+            break;
+
+          case Opcode::Extbl:
+            addSrc(inst.ra);
+            d.handler = inst.useImm ? H_ExtblI : H_ExtblR;
+            break;
+
+          case Opcode::Cmoveq:
+          case Opcode::Cmovne:
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            addSrc(inst.rc); // old value is a source
+            d.handler =
+                inst.op == Opcode::Cmoveq ? H_Cmoveq : H_Cmovne;
+            break;
+
+          case Opcode::Rolx32:
+          case Opcode::Rorx32:
+            addSrc(inst.ra);
+            addSrc(inst.rc); // destination is also a source
+            d.handler =
+                inst.op == Opcode::Rolx32 ? H_Rolx32 : H_Rorx32;
+            break;
+
+          case Opcode::Sbox:
+          case Opcode::Sboxx:
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            if (inst.op == Opcode::Sboxx)
+                addSrc(inst.rc); // destination is also a source
+            t.isLoad = true;
+            t.size = 4;
+            if (inst.tableId >= max_sbox_tables)
+                d.handler = H_SboxTrap; // trap fires at execution
+            else if (inst.op == Opcode::Sboxx)
+                d.handler = inst.aliased ? H_SboxxAlias : H_Sboxx;
+            else
+                d.handler = inst.aliased ? H_SboxAlias : H_Sbox;
+            break;
+
+          case Opcode::Sboxsync:
+            d.handler = H_Sboxsync;
+            break;
+
+          case Opcode::Grp:
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            d.handler = H_Grp;
+            break;
+
+          case Opcode::Xbox:
+            addSrc(inst.ra);
+            addSrc(inst.rb);
+            d.handler = H_Xbox;
+            break;
+
+#define X(name, expr)                                                    \
+          case Opcode::name:                                             \
+            addSrc(inst.ra);                                             \
+            if (!inst.useImm)                                            \
+                addSrc(inst.rb);                                         \
+            d.handler = inst.useImm ? H_##name##I : H_##name##R;         \
+            break;
+          VM_ALU_OPS_SRC_AB(X)
+#undef X
+        }
+
+        // Pure register-to-register operations with rc == R63 compute
+        // nothing observable: the interpreter discards the result, so
+        // the decoded form only has to emit the template. (Memory ops
+        // keep their handlers: side effects and traps still happen.)
+        const bool pure = !inst.isBranch() && !inst.isMem()
+            && inst.op != Opcode::Halt && inst.op != Opcode::Sboxsync;
+        if (pure && !d.writes)
+            d.handler = H_EmitOnly;
+
+        // Packed fast path: the fixed record and both flag variants
+        // are static too. Unconditional branches and Halt carry their
+        // taken/next-pc-exception bits in the template (and thus in
+        // baseFlags); conditional branches get a second flag word for
+        // the taken outcome, whose next-pc exception exists exactly
+        // when the target is not the fall-through.
+        d.baseFlags = PackedTrace::packRowBase(t, d.row);
+        if (t.branch && !t.taken) {
+            d.takenFlags =
+                static_cast<uint16_t>(d.baseFlags | PackedTrace::f_taken);
+            if (d.target != pc + 1)
+                d.takenFlags |= PackedTrace::f_next_pc_exc;
+        }
+
+        code_.push_back(d);
+    }
+
+    decodedFor_ = &program;
+    decodedSize_ = program.size();
+}
+
+RunStats
+ThreadedMachine::run(const Program &program, TraceSink *sink,
+                     uint64_t max_insts)
+{
+    if (decodedFor_ != &program || decodedSize_ != program.size())
+        decode(program);
+
+    uint32_t pc = 0;
+    uint64_t seq = 0;
+    // Packed fast path: only when the sink is a pure PackedTrace
+    // appender AND its trace is empty — appendRow's sequence numbers
+    // are implicit in the row position, so they only line up with this
+    // run's seq counter starting from a fresh trace.
+    bool keep = false;
+    PackedTrace *fast = sink ? sink->packedSink(keep) : nullptr;
+    if (fast && !fast->empty())
+        fast = nullptr;
+    try {
+        return exec(sink, fast, keep, max_insts, pc, seq);
+    } catch (const Trap &t) {
+        // Rethrow with execution context, exactly like the interpreter.
+        throw Trap::annotated(t, pc, seq, regs_);
+    }
+}
+
+// --- handler bodies, shared between dispatch modes --------------------
+
+// Stage one retirement on the packed fast path and land the batch
+// when the staging buffer fills. Used only under `if (fast)`.
+#define VM_FAST_ROW(fl, addrv, npcv, resv)                               \
+    do {                                                                 \
+        stage.add(d->row, (fl), (addrv), (npcv), (resv));                \
+        if (stage.full())                                                \
+            stage.flush(*fast);                                          \
+    } while (0)
+
+// Emit of an instruction whose trace record is fully static (Halt, Br,
+// Sboxsync, EmitOnly). The template's nextPc doubles as the next-pc
+// exception value when baseFlags carries that bit (Halt's 0, Br's
+// target) and is ignored otherwise.
+#define VM_EMIT_STATIC()                                                 \
+    if (fast) {                                                          \
+        VM_FAST_ROW(d->baseFlags, 0, d->tmpl.nextPc, 0);                 \
+    } else if (sink) {                                                   \
+        dyn = d->tmpl;                                                   \
+        dyn.seq = seq;                                                   \
+        sink->emit(dyn);                                                 \
+    }
+
+// Common tail of every rc-writing ALU-shaped handler. The EmitOnly
+// rerouting at decode guarantees rc != R63 here.
+#define VM_ALU_TAIL(r)                                                   \
+    regs[d->rc] = (r);                                                   \
+    if (fast) {                                                          \
+        VM_FAST_ROW(keep && (r) != 0                                     \
+                        ? static_cast<uint16_t>(                         \
+                              d->baseFlags                               \
+                              | PackedTrace::f_has_result)               \
+                        : d->baseFlags,                                  \
+                    0, 0, (r));                                          \
+    } else if (sink) {                                                   \
+        dyn = d->tmpl;                                                   \
+        dyn.seq = seq;                                                   \
+        dyn.result = (r);                                                \
+        sink->emit(dyn);                                                 \
+    }                                                                    \
+    seq++;                                                               \
+    pc++;                                                                \
+    VM_DISPATCH()
+
+#define VM_ALU(name, expr)                                               \
+    VM_CASE(name##R)                                                     \
+    {                                                                    \
+        const uint64_t a = regs[d->ra];                                  \
+        const uint64_t b = regs[d->rb];                                  \
+        const uint64_t r = (expr);                                       \
+        VM_ALU_TAIL(r);                                                  \
+    }                                                                    \
+    VM_CASE(name##I)                                                     \
+    {                                                                    \
+        const uint64_t a = regs[d->ra];                                  \
+        const uint64_t b = static_cast<uint64_t>(d->imm);                \
+        const uint64_t r = (expr);                                       \
+        VM_ALU_TAIL(r);                                                  \
+    }
+
+#define VM_CONDBR(name, cond_expr)                                       \
+    VM_CASE(name)                                                        \
+    {                                                                    \
+        const uint64_t a = regs[d->ra];                                  \
+        const bool take = (cond_expr);                                   \
+        if (fast) {                                                      \
+            VM_FAST_ROW(take ? d->takenFlags : d->baseFlags, 0,          \
+                        d->target, 0);                                   \
+        } else if (sink) {                                               \
+            dyn = d->tmpl;                                               \
+            dyn.seq = seq;                                               \
+            if (take) {                                                  \
+                dyn.taken = true;                                        \
+                dyn.nextPc = d->target;                                  \
+            }                                                            \
+            sink->emit(dyn);                                             \
+        }                                                                \
+        seq++;                                                           \
+        pc = take ? d->target : pc + 1;                                  \
+        VM_DISPATCH();                                                   \
+    }
+
+#define VM_LOAD(N)                                                       \
+    {                                                                    \
+        const uint64_t addr =                                            \
+            regs[d->ra] + static_cast<uint64_t>(d->imm);                 \
+        if (N > mem_size || addr > mem_size - N)                         \
+            detail::throwOobAccess(addr, N, mem_size,                    \
+                                   /*is_store=*/false);                  \
+        if (N > 1 && (addr & (N - 1)))                                   \
+            detail::throwMisaligned(addr, N, /*is_store=*/false);        \
+        const uint64_t v = loadLE<N>(mem + addr);                        \
+        if (d->writes)                                                   \
+            regs[d->rc] = v;                                             \
+        if (fast) {                                                      \
+            uint16_t flags = d->baseFlags;                               \
+            if (addr != 0) {                                             \
+                flags |= PackedTrace::f_has_addr;                        \
+                if (addr >> 32)                                          \
+                    flags |= PackedTrace::f_wide_addr;                   \
+            }                                                            \
+            if (keep && d->writes && v != 0)                             \
+                flags |= PackedTrace::f_has_result;                      \
+            VM_FAST_ROW(flags, addr, 0, d->writes ? v : 0);              \
+        } else if (sink) {                                               \
+            dyn = d->tmpl;                                               \
+            dyn.seq = seq;                                               \
+            dyn.addr = addr;                                             \
+            if (d->writes)                                               \
+                dyn.result = v;                                          \
+            sink->emit(dyn);                                             \
+        }                                                                \
+        seq++;                                                           \
+        pc++;                                                            \
+        VM_DISPATCH();                                                   \
+    }
+
+#define VM_STORE(N)                                                      \
+    {                                                                    \
+        const uint64_t addr =                                            \
+            regs[d->ra] + static_cast<uint64_t>(d->imm);                 \
+        if (N > mem_size || addr > mem_size - N)                         \
+            detail::throwOobAccess(addr, N, mem_size,                    \
+                                   /*is_store=*/true);                   \
+        if (N > 1 && (addr & (N - 1)))                                   \
+            detail::throwMisaligned(addr, N, /*is_store=*/true);         \
+        storeLE<N>(mem + addr, regs[d->rc]);                             \
+        if (fast) {                                                      \
+            uint16_t flags = d->baseFlags;                               \
+            if (addr != 0) {                                             \
+                flags |= PackedTrace::f_has_addr;                        \
+                if (addr >> 32)                                          \
+                    flags |= PackedTrace::f_wide_addr;                   \
+            }                                                            \
+            VM_FAST_ROW(flags, addr, 0, 0);                              \
+        } else if (sink) {                                               \
+            dyn = d->tmpl;                                               \
+            dyn.seq = seq;                                               \
+            dyn.addr = addr;                                             \
+            sink->emit(dyn);                                             \
+        }                                                                \
+        seq++;                                                           \
+        pc++;                                                            \
+        VM_DISPATCH();                                                   \
+    }
+
+#define VM_CMOV(name, cond_expr)                                         \
+    VM_CASE(name)                                                        \
+    {                                                                    \
+        const uint64_t a = regs[d->ra];                                  \
+        const uint64_t b = d->bImm ? static_cast<uint64_t>(d->imm)       \
+                                   : regs[d->rb];                        \
+        const uint64_t r = (cond_expr) ? b : regs[d->rc];                \
+        VM_ALU_TAIL(r);                                                  \
+    }
+
+#define VM_ROTX(name, rot_fn)                                            \
+    VM_CASE(name)                                                        \
+    {                                                                    \
+        const uint64_t a = regs[d->ra];                                  \
+        const uint64_t r =                                               \
+            (rot_fn(static_cast<uint32_t>(a), d->imm & 31)               \
+             ^ regs[d->rc])                                              \
+            & mask32;                                                    \
+        VM_ALU_TAIL(r);                                                  \
+    }
+
+// SBOX lookup: table-relative address from the selected index byte,
+// served from live memory (aliased form, or relaxed sync mode) or from
+// the 1 KB frame snapshot table (strict non-aliased form).
+#define VM_SBOX(name, xor_rc, live_mem)                                  \
+    VM_CASE(name)                                                        \
+    {                                                                    \
+        const uint64_t a = regs[d->ra];                                  \
+        const uint64_t index =                                           \
+            (regs[d->rb] >> (8 * d->byteSel)) & 0xFF;                    \
+        const uint64_t addr = (a & ~0x3FFull) | (index << 2);            \
+        if (4 > mem_size || addr > mem_size - 4)                         \
+            detail::throwOobAccess(addr, 4, mem_size,                    \
+                                   /*is_store=*/false);                  \
+        const uint8_t *p;                                                \
+        if (live_mem || !strict) {                                       \
+            p = mem + addr;                                              \
+        } else {                                                         \
+            p = frameSnap[addr >> 10];                                   \
+            if (!p)                                                      \
+                p = snapshotFrame(addr >> 10);                           \
+            p += addr & 0x3FF;                                           \
+        }                                                                \
+        const uint64_t v = loadLE<4>(p);                                 \
+        uint64_t resv = 0;                                               \
+        if (xor_rc) {                                                    \
+            const uint64_t r = regs[d->rc] ^ v;                          \
+            if (d->writes) {                                             \
+                regs[d->rc] = r;                                         \
+                resv = r;                                                \
+            }                                                            \
+        } else if (d->writes) {                                          \
+            regs[d->rc] = v;                                             \
+            resv = v;                                                    \
+        }                                                                \
+        if (fast) {                                                      \
+            uint16_t flags = d->baseFlags;                               \
+            if (addr != 0) {                                             \
+                flags |= PackedTrace::f_has_addr;                        \
+                if (addr >> 32)                                          \
+                    flags |= PackedTrace::f_wide_addr;                   \
+            }                                                            \
+            if (keep && resv != 0)                                       \
+                flags |= PackedTrace::f_has_result;                      \
+            VM_FAST_ROW(flags, addr, 0, resv);                           \
+        } else if (sink) {                                               \
+            dyn = d->tmpl;                                               \
+            dyn.seq = seq;                                               \
+            dyn.addr = addr;                                             \
+            dyn.result = resv;                                           \
+            sink->emit(dyn);                                             \
+        }                                                                \
+        seq++;                                                           \
+        pc++;                                                            \
+        VM_DISPATCH();                                                   \
+    }
+
+RunStats
+ThreadedMachine::exec(TraceSink *sink, PackedTrace *fast,
+                      bool keepResults, uint64_t max_insts, uint32_t &pc,
+                      uint64_t &seq)
+{
+    const bool keep = keepResults;
+    const DecodedInst *const code = code_.data();
+    const uint32_t code_size = static_cast<uint32_t>(code_.size());
+    uint64_t *const __restrict regs = regs_.data();
+    uint8_t *const __restrict mem = mem_.data();
+    const uint64_t mem_size = mem_.size();
+    const uint8_t *const *const frameSnap = frameSnap_.data();
+    const bool strict = strictSbox_;
+
+    // Fast-path retirements stage into this L1-resident buffer and
+    // land in cap-sized batches (VM_FAST_ROW). The guard flushes the
+    // partial batch on every exit — the Halt return, fuel exhaustion,
+    // and trap unwinds — so the trace always holds exactly the retired
+    // prefix when control leaves this frame.
+    PackedTrace::Stage stage;
+    struct StageFlush
+    {
+        PackedTrace *t;
+        PackedTrace::Stage &s;
+        ~StageFlush()
+        {
+            if (t && !s.empty())
+                s.flush(*t);
+        }
+    } stage_flush{fast, stage};
+
+    DynInst dyn;
+    const DecodedInst *d = nullptr;
+
+#ifdef CRYPTARCH_THREADED_GOTO
+
+#define VM_CASE(h) L_##h:
+#define VM_DISPATCH()                                                    \
+    do {                                                                 \
+        if (pc >= code_size)                                             \
+            detail::throwPcOverrun(pc, code_size);                       \
+        if (seq >= max_insts)                                            \
+            detail::throwFuelExhausted(max_insts);                       \
+        d = code + pc;                                                   \
+        goto *jt[d->handler];                                            \
+    } while (0)
+
+    const void *const jt[] = {
+        &&L_Halt,
+        &&L_Br,
+        &&L_Beq,
+        &&L_Bne,
+        &&L_Blt,
+        &&L_Bge,
+        &&L_Ld1,
+        &&L_Ld2,
+        &&L_Ld4,
+        &&L_Ld8,
+        &&L_St1,
+        &&L_St2,
+        &&L_St4,
+        &&L_St8,
+        &&L_Cmoveq,
+        &&L_Cmovne,
+        &&L_Rolx32,
+        &&L_Rorx32,
+        &&L_Sbox,
+        &&L_SboxAlias,
+        &&L_Sboxx,
+        &&L_SboxxAlias,
+        &&L_SboxTrap,
+        &&L_Sboxsync,
+        &&L_Grp,
+        &&L_Xbox,
+        &&L_EmitOnly,
+#define X(name, expr) &&L_##name##R, &&L_##name##I,
+        VM_ALU_OPS(X)
+#undef X
+    };
+    static_assert(sizeof(jt) / sizeof(jt[0]) == H_Count,
+                  "dispatch table out of sync with Handler enum");
+
+    VM_DISPATCH();
+
+#else // switch dispatch
+
+#define VM_CASE(h) case H_##h:
+#define VM_DISPATCH() break
+
+    for (;;) {
+        if (pc >= code_size)
+            detail::throwPcOverrun(pc, code_size);
+        if (seq >= max_insts)
+            detail::throwFuelExhausted(max_insts);
+        d = code + pc;
+        switch (static_cast<Handler>(d->handler)) {
+
+#endif
+
+    VM_CASE(Halt)
+    {
+        VM_EMIT_STATIC();
+        seq++;
+        RunStats stats;
+        stats.instructions = seq;
+        return stats;
+    }
+
+    VM_CASE(Br)
+    {
+        VM_EMIT_STATIC();
+        seq++;
+        pc = d->target;
+        VM_DISPATCH();
+    }
+
+    VM_CONDBR(Beq, a == 0)
+    VM_CONDBR(Bne, a != 0)
+    VM_CONDBR(Blt, static_cast<int64_t>(a) < 0)
+    VM_CONDBR(Bge, static_cast<int64_t>(a) >= 0)
+
+    VM_CASE(Ld1) VM_LOAD(1)
+    VM_CASE(Ld2) VM_LOAD(2)
+    VM_CASE(Ld4) VM_LOAD(4)
+    VM_CASE(Ld8) VM_LOAD(8)
+
+    VM_CASE(St1) VM_STORE(1)
+    VM_CASE(St2) VM_STORE(2)
+    VM_CASE(St4) VM_STORE(4)
+    VM_CASE(St8) VM_STORE(8)
+
+    VM_CMOV(Cmoveq, a == 0)
+    VM_CMOV(Cmovne, a != 0)
+
+    VM_ROTX(Rolx32, rotl32)
+    VM_ROTX(Rorx32, rotr32)
+
+    VM_SBOX(Sbox, false, false)
+    VM_SBOX(SboxAlias, false, true)
+    VM_SBOX(Sboxx, true, false)
+    VM_SBOX(SboxxAlias, true, true)
+
+    VM_CASE(SboxTrap)
+    {
+        detail::throwInvalidSboxTable(d->tmpl.tableId);
+    }
+
+    VM_CASE(Sboxsync)
+    {
+        clearSnapshots();
+        VM_EMIT_STATIC();
+        seq++;
+        pc++;
+        VM_DISPATCH();
+    }
+
+    VM_CASE(Grp)
+    {
+        const uint64_t a = regs[d->ra];
+        const uint64_t control = regs[d->rb];
+        uint64_t lo = 0, hi = 0;
+        unsigned nlo = 0, nhi = 0;
+        for (unsigned i = 0; i < 64; i++) {
+            uint64_t bit = (a >> i) & 1;
+            if ((control >> i) & 1)
+                hi |= bit << nhi++;
+            else
+                lo |= bit << nlo++;
+        }
+        uint64_t r = lo;
+        if (nlo < 64) // nlo == 64 (all-zero control) leaves hi empty
+            r |= hi << nlo;
+        VM_ALU_TAIL(r);
+    }
+
+    VM_CASE(Xbox)
+    {
+        const uint64_t a = regs[d->ra];
+        const uint64_t map = regs[d->rb];
+        uint64_t r = 0;
+        for (unsigned j = 0; j < 8; j++) {
+            unsigned src_bit = (map >> (6 * j)) & 0x3F;
+            uint64_t bit = (a >> src_bit) & 1;
+            r |= bit << (8 * d->byteSel + j);
+        }
+        VM_ALU_TAIL(r);
+    }
+
+    VM_CASE(EmitOnly)
+    {
+        VM_EMIT_STATIC();
+        seq++;
+        pc++;
+        VM_DISPATCH();
+    }
+
+#define X(name, expr) VM_ALU(name, expr)
+    VM_ALU_OPS(X)
+#undef X
+
+#ifdef CRYPTARCH_THREADED_GOTO
+    __builtin_unreachable();
+#else
+          default:
+            detail::throwPcOverrun(pc, code_size); // corrupt handler id
+        }
+    }
+#endif
+}
+
+#undef VM_CASE
+#undef VM_DISPATCH
+#undef VM_EMIT_STATIC
+#undef VM_FAST_ROW
+
+} // namespace cryptarch::isa

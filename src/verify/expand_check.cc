@@ -5,16 +5,8 @@
 namespace cryptarch::verify
 {
 
-namespace
-{
-
-/**
- * Field-by-field comparison so a mismatch report can name the culprit
- * instead of "structs differ". Returns the offending field's name, or
- * an empty view when the instructions agree.
- */
 std::string_view
-firstDifference(const isa::DynInst &a, const isa::DynInst &b)
+firstDynInstDifference(const isa::DynInst &a, const isa::DynInst &b)
 {
     if (a.seq != b.seq)
         return "seq";
@@ -55,7 +47,29 @@ firstDifference(const isa::DynInst &a, const isa::DynInst &b)
     return {};
 }
 
-} // namespace
+void
+StreamMatchSink::emit(const isa::DynInst &inst)
+{
+    seen_++;
+    if (!matched_)
+        return;
+    if (reader_.done()) {
+        matched_ = false;
+        why_ = "candidate stream longer than reference ("
+            + std::to_string(expected_) + " instructions)";
+        return;
+    }
+    const isa::DynInst want = reader_.next();
+    const std::string_view field = firstDynInstDifference(want, inst);
+    if (!field.empty()) {
+        matched_ = false;
+        why_ = "streams diverge at seq " + std::to_string(want.seq)
+            + " in field " + std::string(field);
+        return;
+    }
+    if (downstream_)
+        downstream_->emit(inst);
+}
 
 bool
 verifyExpansion(const isa::PackedTrace &packed,
@@ -73,7 +87,7 @@ verifyExpansion(const isa::PackedTrace &packed,
     while (!pr.done()) {
         const isa::DynInst want = pr.next();
         const isa::DynInst got = cr.next();
-        const std::string_view field = firstDifference(want, got);
+        const std::string_view field = firstDynInstDifference(want, got);
         if (!field.empty()) {
             if (why)
                 *why = "expansion diverges at seq "
