@@ -16,6 +16,8 @@
 #define CRYPTARCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,61 @@ gridCell(bool ok, const char *fmt, double value)
     char buf[48];
     std::snprintf(buf, sizeof(buf), fmt, value);
     return buf;
+}
+
+/**
+ * Crash-safety options from the environment plus the benches' shared
+ * command line:
+ *
+ *   --isolate=thread|process   worker isolation (CRYPTARCH_SWEEP_ISOLATE)
+ *   --journal=PATH             checkpoint journal (CRYPTARCH_SWEEP_JOURNAL)
+ *   --deadline=SECONDS         per-cell watchdog (CRYPTARCH_SWEEP_DEADLINE)
+ *   --threads=N                worker count
+ *
+ * Flags win over the environment. Unknown arguments are ignored, so a
+ * bench with its own flags (e.g. --quick) can share argv. Exits with a
+ * usage message on a malformed known flag rather than silently running
+ * the wrong configuration.
+ */
+inline driver::SweepOptions
+sweepOptions(int argc, char **argv)
+{
+    driver::SweepOptions opts = driver::sweepOptionsFromEnv();
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--isolate=", 10) == 0) {
+            const char *mode = arg + 10;
+            if (std::strcmp(mode, "thread") != 0
+                && std::strcmp(mode, "process") != 0) {
+                std::fprintf(stderr,
+                             "%s: --isolate takes 'thread' or 'process', "
+                             "got '%s'\n",
+                             argv[0], mode);
+                std::exit(2);
+            }
+            opts.isolation = driver::parseSweepIsolation(
+                mode, driver::SweepIsolation::Thread);
+        } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+            opts.journalPath = arg + 10;
+            if (opts.journalPath.empty()) {
+                std::fprintf(stderr, "%s: --journal needs a path\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strncmp(arg, "--deadline=", 11) == 0) {
+            opts.cellDeadlineSeconds = std::atof(arg + 11);
+            if (opts.cellDeadlineSeconds <= 0) {
+                std::fprintf(stderr,
+                             "%s: --deadline needs positive seconds\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            opts.threads = static_cast<unsigned>(
+                std::strtoul(arg + 10, nullptr, 10));
+        }
+    }
+    return opts;
 }
 
 /**

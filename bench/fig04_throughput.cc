@@ -29,13 +29,14 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cryptarch;
     using namespace cryptarch::bench;
 
     auto variant = kernels::KernelVariant::BaselineRot;
-    auto results = driver::runSweep(driver::fig04Spec());
+    auto results =
+        driver::runSweep(driver::fig04Spec(), sweepOptions(argc, argv));
 
     std::printf("Figure 4. Cipher Encryption Performance "
                 "(bytes/1000 cycles, 4KB session).\n\n");

@@ -28,13 +28,14 @@
 #include "bench/common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cryptarch;
     using namespace cryptarch::bench;
     using kernels::KernelVariant;
 
-    auto results = driver::runCells(driver::fig10Cells());
+    auto results =
+        driver::runCells(driver::fig10Cells(), sweepOptions(argc, argv));
 
     std::printf("Figure 10. Relative Performance of the Optimized "
                 "Kernels\n(speedup vs original-with-rotates on 4W, "

@@ -29,7 +29,7 @@ num(unsigned v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using cryptarch::sim::MachineConfig;
 
@@ -98,7 +98,8 @@ main()
     // Measured companion: optimized kernels on each model.
     using namespace cryptarch::bench;
     auto spec = cryptarch::driver::tab02Spec();
-    auto results = cryptarch::driver::runSweep(spec);
+    auto results =
+        cryptarch::driver::runSweep(spec, sweepOptions(argc, argv));
 
     std::printf("\nMeasured on the optimized kernels "
                 "(bytes/1000 cycles, 4KB session):\n\n");

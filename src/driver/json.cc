@@ -1,5 +1,6 @@
 #include "driver/json.hh"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -136,8 +137,17 @@ writeBenchJson(const std::string &path, std::string_view bench,
     if (!out)
         throw std::runtime_error("cannot write " + path);
 
+    std::array<uint64_t, num_cell_outcomes> counts{};
+    for (const auto &r : results)
+        counts[static_cast<size_t>(r.outcome)]++;
+
     out << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
-        << "  \"schema\": 3,\n  \"results\": [\n";
+        << "  \"schema\": 4,\n  \"outcomes\": {";
+    for (size_t o = 0; o < num_cell_outcomes; o++)
+        out << (o ? ", " : "") << "\""
+            << cellOutcomeName(static_cast<CellOutcome>(o))
+            << "\": " << counts[o];
+    out << "},\n  \"results\": [\n";
     for (size_t i = 0; i < results.size(); i++) {
         const auto &r = results[i];
         out << "    {\"cipher\": \""
@@ -147,6 +157,8 @@ writeBenchJson(const std::string &path, std::string_view bench,
             << ", \"outcome\": \"" << cellOutcomeName(r.outcome) << "\"";
         if (!r.message.empty())
             out << ",\n     \"message\": \"" << escape(r.message) << "\"";
+        if (r.worker >= 0)
+            out << ",\n     \"worker\": " << r.worker;
         if (i < resultExtras.size() && !resultExtras[i].empty())
             out << ",\n     " << resultExtras[i];
         out << ",\n     \"stats\": " << toJson(r.stats) << "}"

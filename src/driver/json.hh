@@ -4,19 +4,23 @@
  *
  * Every migrated bench emits its full sweep next to the paper-formatted
  * text table, so regenerated figures are diffable and downstream
- * tooling never has to scrape printf output. Schema (version 3):
+ * tooling never has to scrape printf output. Schema (version 4):
  *
  *   {
  *     "bench": "<figure/table id>",
- *     "schema": 3,
+ *     "schema": 4,
+ *     "outcomes": {"ok": N, "trapped": N, "verify_failed": N,
+ *                  "error": N, "crashed": N, "timed_out": N},
  *     "results": [
  *       {
  *         "cipher": "RC4",
  *         "variant": "BaselineRot",
  *         "model": "4W",
  *         "session_bytes": 4096,
- *         "outcome": "ok" | "trapped" | "verify_failed" | "error",
+ *         "outcome": "ok" | "trapped" | "verify_failed" | "error"
+ *                  | "crashed" | "timed_out",
  *         "message": "<error what(), present only on failed cells>",
+ *         "worker": N,  // worker attribution; host-level failures only
  *         "stats": {
  *           "instructions": N, "cycles": N, "ipc": x,
  *           "cond_branches": N, "mispredicts": N,
@@ -41,7 +45,12 @@
  * silently desynchronize from the enum) and the stall-attribution
  * counters. v3 added the fail-soft cell "outcome" (with "message" on
  * failed cells); failed cells keep their coordinates but carry zeroed
- * stats.
+ * stats. v4 added the top-level "outcomes" count object (one key per
+ * CellOutcome, zeros included), the "crashed"/"timed_out" outcomes
+ * from process isolation, and the per-result "worker" index — emitted
+ * only on cells a worker process failed (crashed, timed out, or
+ * corrupted mid-frame), so healthy grids remain byte-identical across
+ * isolation modes, thread counts, and kill-and-resume reruns.
  *
  * All emitted strings are escaped: quote/backslash/newline/tab with
  * their short escapes, every other byte outside printable ASCII

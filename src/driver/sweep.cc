@@ -1,6 +1,9 @@
 #include "driver/sweep.hh"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,6 +11,8 @@
 #include <thread>
 #include <tuple>
 
+#include "driver/cell_exec.hh"
+#include "driver/procpool.hh"
 #include "isa/trap.hh"
 #include "verify/oracle.hh"
 
@@ -22,26 +27,43 @@ cellOutcomeName(CellOutcome outcome)
       case CellOutcome::Trapped: return "trapped";
       case CellOutcome::VerifyFailed: return "verify_failed";
       case CellOutcome::Error: return "error";
+      case CellOutcome::Crashed: return "crashed";
+      case CellOutcome::TimedOut: return "timed_out";
     }
     return "?";
 }
 
-namespace
+SweepIsolation
+parseSweepIsolation(std::string_view name, SweepIsolation dflt)
+{
+    if (name == "thread")
+        return SweepIsolation::Thread;
+    if (name == "process")
+        return SweepIsolation::Process;
+    // Anything unrecognized: the caller's safe default, same policy as
+    // the CRYPTARCH_TRACE_COMPRESS / CRYPTARCH_EXEC_BACKEND parsers.
+    return dflt;
+}
+
+SweepOptions
+sweepOptionsFromEnv()
+{
+    SweepOptions opts;
+    if (const char *env = std::getenv("CRYPTARCH_SWEEP_ISOLATE"))
+        opts.isolation = parseSweepIsolation(env, SweepIsolation::Thread);
+    if (const char *env = std::getenv("CRYPTARCH_SWEEP_JOURNAL"))
+        opts.journalPath = env;
+    if (const char *env = std::getenv("CRYPTARCH_SWEEP_DEADLINE"))
+        opts.cellDeadlineSeconds = std::atof(env);
+    if (const char *env = std::getenv("CRYPTARCH_SWEEP_RESPAWNS"))
+        opts.respawnBudget =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return opts;
+}
+
+namespace detail
 {
 
-/**
- * Cells sharing a kernel share one lazily recorded trace — or one
- * cached recording failure, so a kernel that traps or fails the oracle
- * is still interpreted exactly once, not once per model.
- */
-struct TraceGroup
-{
-    std::once_flag once;
-    RecordedTrace trace;
-    std::exception_ptr recordError;
-};
-
-/** Fill outcome/message from the exception behind @p ep. */
 void
 classifyFailure(SweepResult &r, std::exception_ptr ep)
 {
@@ -62,7 +84,6 @@ classifyFailure(SweepResult &r, std::exception_ptr ep)
     }
 }
 
-/** Deterministic failures are not worth a second functional run. */
 bool
 isDeterministicFailure(std::exception_ptr ep)
 {
@@ -77,83 +98,154 @@ isDeterministicFailure(std::exception_ptr ep)
     }
 }
 
-using GroupKey = std::tuple<crypto::CipherId, kernels::KernelVariant, size_t>;
-
-GroupKey
-keyOf(const SweepCell &cell)
+SweepResult
+makeResultShell(const SweepCell &cell)
 {
-    return {cell.cipher, cell.variant, cell.bytes};
+    SweepResult r;
+    r.cipher = cell.cipher;
+    r.variant = cell.variant;
+    r.model = cell.model.name;
+    r.bytes = cell.bytes;
+    return r;
 }
 
-} // namespace
-
-std::vector<SweepResult>
-runCells(const std::vector<SweepCell> &cells, unsigned threads)
+void
+executeCell(const SweepCell &cell, TraceGroup &group, SweepResult &r)
 {
-    std::vector<SweepResult> results(cells.size());
-    if (cells.empty())
-        return results;
+    // The whole body is wrapped: an exception escaping any step —
+    // std::bad_alloc while building the result included — marks the
+    // cell Error instead of std::terminate-ing the sweep.
+    try {
+        std::call_once(group.once, [&]() {
+            try {
+                group.trace = recordKernelTrace(cell.cipher, cell.variant,
+                                                cell.bytes);
+            } catch (...) {
+                group.recordError = std::current_exception();
+                if (isDeterministicFailure(group.recordError))
+                    return;
+                // One retry for anything unrecognized (transient
+                // allocation failure and the like).
+                try {
+                    group.trace = recordKernelTrace(cell.cipher,
+                                                    cell.variant,
+                                                    cell.bytes);
+                    group.recordError = nullptr;
+                } catch (...) {
+                    group.recordError = std::current_exception();
+                }
+            }
+        });
+        if (group.recordError) {
+            classifyFailure(r, group.recordError);
+            return;
+        }
+        try {
+            r.stats = group.trace.replay(cell.model);
+        } catch (...) {
+            std::exception_ptr ep = std::current_exception();
+            if (!isDeterministicFailure(ep)) {
+                // The same transient-failure allowance recording has:
+                // one retry before the cell is marked Error.
+                try {
+                    r.stats = group.trace.replay(cell.model);
+                    return;
+                } catch (...) {
+                    ep = std::current_exception();
+                }
+            }
+            classifyFailure(r, ep);
+        }
+    } catch (...) {
+        classifyFailure(r, std::current_exception());
+    }
+}
 
+} // namespace detail
+
+namespace
+{
+
+using detail::GroupKey;
+using detail::keyOf;
+using detail::TraceGroup;
+
+/**
+ * Open the journal for @p cells, falling back to a fresh run when the
+ * existing file is rejected. Cells whose journaled payloads load are
+ * marked done with their recorded results; a payload the codec
+ * rejects (possible only across a codec change — record checksums
+ * already passed) degrades to rerunning that cell.
+ */
+void
+resumeFromJournal(SweepJournal &journal, const std::string &path,
+                  const std::vector<SweepCell> &cells,
+                  std::vector<SweepResult> &results,
+                  std::vector<char> &done)
+{
+    const uint64_t fp = gridFingerprint(cells);
+    try {
+        journal.open(path, fp, cells.size());
+    } catch (const JournalError &e) {
+        std::fprintf(stderr,
+                     "sweep: journal %s rejected (%s); starting fresh\n",
+                     path.c_str(), e.what());
+        journal.openFresh(path, fp, cells.size());
+        return;
+    }
+    for (const auto &[index, payload] : journal.loadedRecords()) {
+        try {
+            deserializeResultPayload(payload, results[index]);
+            done[index] = 1;
+        } catch (const JournalError &e) {
+            std::fprintf(stderr,
+                         "sweep: journal record for cell %u unusable "
+                         "(%s); re-running it\n",
+                         index, e.what());
+        }
+    }
+}
+
+void
+runCellsThread(const std::vector<SweepCell> &cells,
+               const std::vector<uint32_t> &todo,
+               const SweepOptions &options,
+               std::vector<SweepResult> &results, SweepJournal *journal)
+{
     // Group table is fully built before workers start; workers only
     // race on each group's once_flag.
     std::map<GroupKey, std::unique_ptr<TraceGroup>> groups;
-    for (const auto &cell : cells) {
-        auto &slot = groups[keyOf(cell)];
+    for (uint32_t i : todo) {
+        auto &slot = groups[keyOf(cells[i])];
         if (!slot)
             slot = std::make_unique<TraceGroup>();
     }
 
     std::atomic<size_t> next{0};
+    std::mutex journalMutex;
 
     auto worker = [&]() {
         for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= cells.size())
+            size_t k = next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= todo.size())
                 return;
+            const uint32_t i = todo[k];
             const SweepCell &cell = cells[i];
-            SweepResult r;
-            r.cipher = cell.cipher;
-            r.variant = cell.variant;
-            r.model = cell.model.name;
-            r.bytes = cell.bytes;
-
-            TraceGroup &group = *groups.at(keyOf(cell));
-            std::call_once(group.once, [&]() {
-                try {
-                    group.trace = recordKernelTrace(cell.cipher,
-                                                    cell.variant,
-                                                    cell.bytes);
-                } catch (...) {
-                    group.recordError = std::current_exception();
-                    if (isDeterministicFailure(group.recordError))
-                        return;
-                    // One retry for anything unrecognized (transient
-                    // allocation failure and the like).
-                    try {
-                        group.trace = recordKernelTrace(cell.cipher,
-                                                        cell.variant,
-                                                        cell.bytes);
-                        group.recordError = nullptr;
-                    } catch (...) {
-                        group.recordError = std::current_exception();
-                    }
-                }
-            });
-            if (group.recordError) {
-                classifyFailure(r, group.recordError);
-            } else {
-                try {
-                    r.stats = group.trace.replay(cell.model);
-                } catch (...) {
-                    classifyFailure(r, std::current_exception());
-                }
+            SweepResult r = detail::makeResultShell(cell);
+            detail::executeCell(cell, *groups.at(keyOf(cell)), r);
+            if (journal) {
+                auto payload = serializeResultPayload(r);
+                std::lock_guard<std::mutex> lock(journalMutex);
+                journal->append(i, payload);
             }
             results[i] = std::move(r);
         }
     };
 
-    unsigned n = threads ? threads : std::thread::hardware_concurrency();
-    n = std::max(1u, std::min<unsigned>(n, cells.size()));
+    unsigned n =
+        options.threads ? options.threads : std::thread::hardware_concurrency();
+    n = std::max(1u,
+                 std::min<unsigned>(n, static_cast<unsigned>(todo.size())));
 
     std::vector<std::thread> pool;
     pool.reserve(n - 1);
@@ -162,12 +254,53 @@ runCells(const std::vector<SweepCell> &cells, unsigned threads)
     worker();
     for (auto &t : pool)
         t.join();
+}
 
+} // namespace
+
+std::vector<SweepResult>
+runCells(const std::vector<SweepCell> &cells, const SweepOptions &options)
+{
+    std::vector<SweepResult> results;
+    results.reserve(cells.size());
+    for (const auto &cell : cells)
+        results.push_back(detail::makeResultShell(cell));
+    if (cells.empty())
+        return results;
+
+    std::vector<char> done(cells.size(), 0);
+    SweepJournal journal;
+    if (!options.journalPath.empty())
+        resumeFromJournal(journal, options.journalPath, cells, results,
+                          done);
+
+    std::vector<uint32_t> todo;
+    todo.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); i++)
+        if (!done[i])
+            todo.push_back(static_cast<uint32_t>(i));
+    if (todo.empty())
+        return results;
+
+    SweepJournal *jp = journal.isOpen() ? &journal : nullptr;
+    if (options.isolation == SweepIsolation::Process)
+        runCellsProcess(cells, todo, options, results, jp);
+    else
+        runCellsThread(cells, todo, options, results, jp);
     return results;
 }
 
 std::vector<SweepResult>
-runSweep(const SweepSpec &spec)
+runCells(const std::vector<SweepCell> &cells, unsigned threads)
+{
+    SweepOptions options = sweepOptionsFromEnv();
+    if (threads)
+        options.threads = threads;
+    return runCells(cells, options);
+}
+
+std::vector<SweepResult>
+runSweep(const SweepSpec &spec, const SweepOptions &options)
 {
     std::vector<SweepCell> cells;
     cells.reserve(spec.ciphers.size() * spec.variants.size()
@@ -176,7 +309,16 @@ runSweep(const SweepSpec &spec)
         for (auto variant : spec.variants)
             for (const auto &model : spec.models)
                 cells.push_back({cipher, variant, model, spec.bytes});
-    return runCells(cells, spec.threads);
+    return runCells(cells, options);
+}
+
+std::vector<SweepResult>
+runSweep(const SweepSpec &spec)
+{
+    SweepOptions options = sweepOptionsFromEnv();
+    if (spec.threads)
+        options.threads = spec.threads;
+    return runSweep(spec, options);
 }
 
 const SweepResult &
