@@ -142,7 +142,7 @@ writeBenchJson(const std::string &path, std::string_view bench,
         counts[static_cast<size_t>(r.outcome)]++;
 
     out << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
-        << "  \"schema\": 4,\n  \"outcomes\": {";
+        << "  \"schema\": 5,\n  \"outcomes\": {";
     for (size_t o = 0; o < num_cell_outcomes; o++)
         out << (o ? ", " : "") << "\""
             << cellOutcomeName(static_cast<CellOutcome>(o))

@@ -4,13 +4,14 @@
  *
  * Every migrated bench emits its full sweep next to the paper-formatted
  * text table, so regenerated figures are diffable and downstream
- * tooling never has to scrape printf output. Schema (version 4):
+ * tooling never has to scrape printf output. Schema (version 5):
  *
  *   {
  *     "bench": "<figure/table id>",
- *     "schema": 4,
+ *     "schema": 5,
  *     "outcomes": {"ok": N, "trapped": N, "verify_failed": N,
- *                  "error": N, "crashed": N, "timed_out": N},
+ *                  "error": N, "crashed": N, "timed_out": N,
+ *                  "rejected": N, "stalled": N},
  *     "results": [
  *       {
  *         "cipher": "RC4",
@@ -18,7 +19,7 @@
  *         "model": "4W",
  *         "session_bytes": 4096,
  *         "outcome": "ok" | "trapped" | "verify_failed" | "error"
- *                  | "crashed" | "timed_out",
+ *                  | "crashed" | "timed_out" | "rejected" | "stalled",
  *         "message": "<error what(), present only on failed cells>",
  *         "worker": N,  // worker attribution; host-level failures only
  *         "stats": {
@@ -50,7 +51,12 @@
  * from process isolation, and the per-result "worker" index — emitted
  * only on cells a worker process failed (crashed, timed out, or
  * corrupted mid-frame), so healthy grids remain byte-identical across
- * isolation modes, thread counts, and kill-and-resume reruns.
+ * isolation modes, thread counts, and kill-and-resume reruns. v5 added
+ * the "rejected" (config validation refused the machine model) and
+ * "stalled" (the scheduler's forward-progress watchdog fired) outcomes
+ * from the simulator hardening layer; both appear in the "outcomes"
+ * counts and as per-result outcome values, zeroed stats as with every
+ * failed cell.
  *
  * All emitted strings are escaped: quote/backslash/newline/tab with
  * their short escapes, every other byte outside printable ASCII

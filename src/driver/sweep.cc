@@ -14,6 +14,8 @@
 #include "driver/cell_exec.hh"
 #include "driver/procpool.hh"
 #include "isa/trap.hh"
+#include "sim/validate.hh"
+#include "util/env.hh"
 #include "verify/oracle.hh"
 
 namespace cryptarch::driver
@@ -29,6 +31,8 @@ cellOutcomeName(CellOutcome outcome)
       case CellOutcome::Error: return "error";
       case CellOutcome::Crashed: return "crashed";
       case CellOutcome::TimedOut: return "timed_out";
+      case CellOutcome::Rejected: return "rejected";
+      case CellOutcome::Stalled: return "stalled";
     }
     return "?";
 }
@@ -48,16 +52,21 @@ parseSweepIsolation(std::string_view name, SweepIsolation dflt)
 SweepOptions
 sweepOptionsFromEnv()
 {
+    // Centralized parsing (util/env.hh): an unrecognized value keeps
+    // the safe default AND emits one typed warning naming the accepted
+    // values, instead of the historical silent fallback.
     SweepOptions opts;
-    if (const char *env = std::getenv("CRYPTARCH_SWEEP_ISOLATE"))
-        opts.isolation = parseSweepIsolation(env, SweepIsolation::Thread);
+    opts.isolation = static_cast<SweepIsolation>(util::envChoice(
+        "CRYPTARCH_SWEEP_ISOLATE",
+        {{"thread", static_cast<int>(SweepIsolation::Thread)},
+         {"process", static_cast<int>(SweepIsolation::Process)}},
+        static_cast<int>(SweepIsolation::Thread)));
     if (const char *env = std::getenv("CRYPTARCH_SWEEP_JOURNAL"))
         opts.journalPath = env;
-    if (const char *env = std::getenv("CRYPTARCH_SWEEP_DEADLINE"))
-        opts.cellDeadlineSeconds = std::atof(env);
-    if (const char *env = std::getenv("CRYPTARCH_SWEEP_RESPAWNS"))
-        opts.respawnBudget =
-            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    opts.cellDeadlineSeconds =
+        util::envDouble("CRYPTARCH_SWEEP_DEADLINE", 0);
+    opts.respawnBudget = static_cast<unsigned>(
+        util::envU64("CRYPTARCH_SWEEP_RESPAWNS", opts.respawnBudget));
     return opts;
 }
 
@@ -69,8 +78,16 @@ classifyFailure(SweepResult &r, std::exception_ptr ep)
 {
     try {
         std::rethrow_exception(ep);
+    } catch (const sim::ConfigRejected &e) {
+        r.outcome = CellOutcome::Rejected;
+        r.message = e.what();
     } catch (const isa::Trap &t) {
-        r.outcome = CellOutcome::Trapped;
+        // A forward-progress watchdog trip is a property of the
+        // machine model, not the workload: its own outcome keeps
+        // `trapped` meaning "the functional machine faulted".
+        r.outcome = t.cause() == isa::TrapCause::NoProgress
+            ? CellOutcome::Stalled
+            : CellOutcome::Trapped;
         r.message = t.what();
     } catch (const verify::VerifyError &e) {
         r.outcome = CellOutcome::VerifyFailed;
@@ -89,6 +106,8 @@ isDeterministicFailure(std::exception_ptr ep)
 {
     try {
         std::rethrow_exception(ep);
+    } catch (const sim::ConfigRejected &) {
+        return true;
     } catch (const isa::Trap &) {
         return true;
     } catch (const verify::VerifyError &) {

@@ -63,13 +63,16 @@ enum class CellOutcome : uint8_t
     Error,        ///< anything else (kernel build, bad parameters, ...)
     Crashed,      ///< worker process died (signal or unexpected exit)
     TimedOut,     ///< cell exceeded the watchdog deadline; worker killed
+    // New values append (journal payloads carry the numeric value).
+    Rejected,     ///< config validation refused the cell's machine model
+    Stalled,      ///< the scheduler's forward-progress watchdog fired
 };
 
 /** Number of cell outcomes (size of any per-outcome accumulator). */
 constexpr size_t num_cell_outcomes =
-    static_cast<size_t>(CellOutcome::TimedOut) + 1;
+    static_cast<size_t>(CellOutcome::Stalled) + 1;
 
-/** Stable outcome name ("ok", "trapped", ..., "crashed", "timed_out"). */
+/** Stable outcome name ("ok", "trapped", ..., "rejected", "stalled"). */
 const char *cellOutcomeName(CellOutcome outcome);
 
 /** Timing result of one cell, tagged with its coordinates. */

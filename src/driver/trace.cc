@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "isa/threaded_machine.hh"
+#include "util/env.hh"
 #include "verify/expand_check.hh"
 #include "verify/oracle.hh"
 
@@ -37,15 +38,14 @@ std::map<std::tuple<int, int, int>, double> insts_per_byte;
 TraceCompression
 initialCompressionMode()
 {
-    const char *env = std::getenv("CRYPTARCH_TRACE_COMPRESS");
-    if (env) {
-        if (std::strcmp(env, "off") == 0)
-            return TraceCompression::Off;
-        if (std::strcmp(env, "on") == 0)
-            return TraceCompression::On;
-        // "auto" or anything unrecognized: the safe default.
-    }
-    return TraceCompression::Auto;
+    // util/env.hh: unrecognized values keep the safe default and warn
+    // once, naming the accepted spellings.
+    return static_cast<TraceCompression>(util::envChoice(
+        "CRYPTARCH_TRACE_COMPRESS",
+        {{"auto", static_cast<int>(TraceCompression::Auto)},
+         {"on", static_cast<int>(TraceCompression::On)},
+         {"off", static_cast<int>(TraceCompression::Off)}},
+        static_cast<int>(TraceCompression::Auto)));
 }
 
 std::atomic<TraceCompression> compression_mode{initialCompressionMode()};
@@ -53,15 +53,13 @@ std::atomic<TraceCompression> compression_mode{initialCompressionMode()};
 ExecBackendSelection
 initialBackendSelection()
 {
-    const char *env = std::getenv("CRYPTARCH_EXEC_BACKEND");
-    if (env) {
-        if (std::strcmp(env, "interpreter") == 0)
-            return ExecBackendSelection::Interpreter;
-        if (std::strcmp(env, "threaded") == 0)
-            return ExecBackendSelection::Threaded;
-        // "auto" or anything unrecognized: the safe default.
-    }
-    return ExecBackendSelection::Auto;
+    return static_cast<ExecBackendSelection>(util::envChoice(
+        "CRYPTARCH_EXEC_BACKEND",
+        {{"auto", static_cast<int>(ExecBackendSelection::Auto)},
+         {"interpreter",
+          static_cast<int>(ExecBackendSelection::Interpreter)},
+         {"threaded", static_cast<int>(ExecBackendSelection::Threaded)}},
+        static_cast<int>(ExecBackendSelection::Auto)));
 }
 
 std::atomic<ExecBackendSelection> backend_selection{

@@ -15,6 +15,7 @@ trapCauseName(TrapCause cause)
       case TrapCause::PcOverrun: return "pc-overrun";
       case TrapCause::FuelExhausted: return "fuel-exhausted";
       case TrapCause::InvalidSboxTable: return "invalid-sbox-table";
+      case TrapCause::NoProgress: return "no-progress";
     }
     return "?";
 }

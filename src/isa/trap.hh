@@ -35,6 +35,7 @@ enum class TrapCause : uint8_t
     PcOverrun,     ///< pc ran off the end of the program
     FuelExhausted, ///< dynamic instruction limit hit (livelock guard)
     InvalidSboxTable, ///< SBOX table designator out of range
+    NoProgress,    ///< scheduler forward-progress watchdog fired
 };
 
 /** Stable short name of a trap cause ("oob-load", "pc-overrun", ...). */

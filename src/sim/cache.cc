@@ -1,7 +1,8 @@
 #include "sim/cache.hh"
 
 #include <array>
-#include <cassert>
+
+#include "sim/validate.hh"
 
 namespace cryptarch::sim
 {
@@ -9,7 +10,23 @@ namespace cryptarch::sim
 Cache::Cache(const CacheGeometry &geom)
     : blockBytes(geom.blockBytes), assoc(geom.assoc)
 {
-    assert(geom.sizeBytes % (geom.blockBytes * geom.assoc) == 0);
+    // Constructing from a degenerate geometry used to be UB (divide by
+    // zero below, zero-sized line array indexed on access). Config
+    // validation rejects these before a scheduler is built; direct
+    // constructions get the same typed error here.
+    if (geom.blockBytes == 0 || geom.assoc == 0 || geom.sizeBytes == 0)
+        throw ConfigRejected(
+            {ConfigErrorKind::ZeroGeometry, "cache",
+             "blockBytes, assoc and sizeBytes must all be nonzero"});
+    const uint64_t setBytes =
+        static_cast<uint64_t>(geom.blockBytes) * geom.assoc;
+    if (geom.sizeBytes < setBytes
+        || geom.sizeBytes % setBytes != 0)
+        throw ConfigRejected(
+            {ConfigErrorKind::BadGeometry, "cache",
+             "sizeBytes (" + std::to_string(geom.sizeBytes)
+                 + ") must be a nonzero multiple of blockBytes*assoc ("
+                 + std::to_string(setBytes) + ")"});
     numSets = geom.sizeBytes / (geom.blockBytes * geom.assoc);
     lines.resize(static_cast<size_t>(numSets) * assoc);
     if (blockBytes && (blockBytes & (blockBytes - 1)) == 0) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
+
+#include "isa/trap.hh"
 
 namespace cryptarch::sim
 {
@@ -9,14 +12,34 @@ namespace cryptarch::sim
 using isa::DynInst;
 using isa::OpClass;
 
-OooScheduler::OooScheduler(const MachineConfig &config)
-    : cfg(config), issueSlots(cfg.issueWidth), retireSlots(cfg.issueWidth),
+OooScheduler::OooScheduler(const MachineConfig &config, ConfigPolicy policy)
+    : cfg(hardenedConfig(config, policy)), issueSlots(cfg.issueWidth),
+      retireSlots(cfg.issueWidth),
       aluUnits(cfg.numIntAlu), rotUnits(cfg.numRotUnits),
       mulSlots(cfg.mulHalfSlots), dcachePorts(cfg.numDCachePorts),
       retireRing(cfg.windowSize ? cfg.windowSize : 1, 0),
       predictor(cfg.predictorEntries), memory(cfg)
 {
     stats.model = cfg.name;
+    // Forward-progress watchdog: the base FU-retry budget. A valid
+    // config's issue retry loop is bounded by the booked backlog
+    // (at most a few probes per in-flight instruction), so a budget
+    // scaled from the window span plus the full latency chain — and
+    // growing with the instruction index in issueOf, which covers the
+    // legitimately linear backlog of the unlimited-window DF isolation
+    // models — never fires on real machines, while an unsatisfiable
+    // pool trips it within ~budget probes of the first blocked op.
+    progressBudgetBase = progressBudgetOverride();
+    if (progressBudgetBase == 0) {
+        const uint64_t windowClamp =
+            cfg.windowSize != unlimited ? cfg.windowSize : 4096;
+        const uint64_t latChain = cfg.aluLat + cfg.rotLat + cfg.mulLat64
+            + cfg.mulLat32 + cfg.mulmodLat + cfg.loadLat
+            + cfg.sboxOnDcacheLat + cfg.sboxCacheLat + cfg.l2HitLat
+            + cfg.memLat + cfg.dtlbMissLat + cfg.mispredictPenalty;
+        progressBudgetBase = 4096 + 64 * windowClamp + 16 * latChain;
+    }
+    auditing = simAuditEnabled();
     if (!cfg.perfectSbox && cfg.numSboxCaches > 0) {
         sboxCaches.resize(cfg.numSboxCaches);
         for (unsigned i = 0; i < cfg.numSboxCaches; i++)
@@ -168,6 +191,14 @@ OooScheduler::issueOf(const DynInst &inst, Cycle ready, unsigned &lat,
             break;
         issueSlots.unbook(slotAt);
         fuWait++;
+        // Forward-progress watchdog: fuWait counts exactly the failed
+        // unit bookings, so the uncontended path pays nothing and a
+        // contended retry pays one compare. An unsatisfiable pool
+        // (units can never fit the capacity) turns into a typed trap
+        // instead of an infinite loop.
+        if (fuWait > progressBudgetBase + 8 * instIndex) [[unlikely]]
+            throwNoProgress(inst, ready, slotAt, fuCause, slotWait,
+                            fuWait);
         cycle = slotAt + 1;
     }
     if (slotWait) {
@@ -195,6 +226,87 @@ OooScheduler::pruneResources(Cycle horizon)
 }
 
 void
+OooScheduler::throwNoProgress(const DynInst &inst, Cycle ready,
+                              Cycle probed, StallCause fuCause,
+                              uint64_t slotWait, uint64_t fuWait) const
+{
+    // The stalled-frontier snapshot: the oldest un-issued instruction
+    // and the constraint blocking it, so a `stalled` sweep cell is
+    // diagnosable from the message alone.
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "scheduler made no forward progress on model '%s': seq=%llu "
+        "pc=%u class=%s blocked on %s (ready cycle %llu, probed through "
+        "cycle %llu: %llu failed unit bookings, %llu issue-slot wait "
+        "cycles; base budget %llu, CRYPTARCH_SIM_PROGRESS_BUDGET "
+        "overrides)",
+        cfg.name.c_str(), static_cast<unsigned long long>(inst.seq),
+        static_cast<unsigned>(inst.pc), isa::opClassName(inst.cls),
+        stallCauseName(fuCause), static_cast<unsigned long long>(ready),
+        static_cast<unsigned long long>(probed),
+        static_cast<unsigned long long>(fuWait),
+        static_cast<unsigned long long>(slotWait),
+        static_cast<unsigned long long>(progressBudgetBase));
+    throw isa::Trap(isa::TrapCause::NoProgress, buf);
+}
+
+void
+OooScheduler::auditRetired(const DynInst &inst, Cycle fetch,
+                           Cycle dispatch, Cycle ready, Cycle issue,
+                           Cycle complete, Cycle retire,
+                           const StallVector &stall) const
+{
+    auto fail = [&](const char *invariant, const std::string &detail) {
+        throw AuditError(invariant, inst.seq, inst.pc, detail);
+    };
+    if (fetch > dispatch || dispatch > ready || ready > issue
+        || issue > complete || complete > retire)
+        fail("event-order",
+             "fetch=" + std::to_string(fetch) + " dispatch="
+                 + std::to_string(dispatch) + " ready="
+                 + std::to_string(ready) + " issue="
+                 + std::to_string(issue) + " complete="
+                 + std::to_string(complete) + " retire="
+                 + std::to_string(retire)
+                 + " violates fetch<=dispatch<=ready<=issue<=complete"
+                   "<=retire");
+    // Conservation: the dispatch-to-issue stall causes tile the
+    // dispatch-to-issue span exactly — no cycle lost, none counted
+    // twice (the exclusion semantics DESIGN.md documents).
+    const uint64_t tiled = dispatchToIssueCycles(stall);
+    if (tiled != issue - dispatch)
+        fail("stall-tiling",
+             "attributed " + std::to_string(tiled)
+                 + " dispatch-to-issue cycles but issue-dispatch is "
+                 + std::to_string(issue - dispatch));
+    // Resource books never exceed capacity at the cycles this
+    // instruction just booked.
+    auto overbooked = [](const CycleResource &r, Cycle at) {
+        return r.limited() && r.bookedAt(at) > r.capacity();
+    };
+    if (overbooked(issueSlots, issue))
+        fail("issue-width",
+             std::to_string(issueSlots.bookedAt(issue))
+                 + " issue slots booked at cycle "
+                 + std::to_string(issue) + " with width "
+                 + std::to_string(issueSlots.capacity()));
+    if (overbooked(retireSlots, retire))
+        fail("retire-width",
+             std::to_string(retireSlots.bookedAt(retire))
+                 + " retire slots booked at cycle "
+                 + std::to_string(retire) + " with width "
+                 + std::to_string(retireSlots.capacity()));
+    for (const auto *fu : {&aluUnits, &rotUnits, &mulSlots, &dcachePorts})
+        if (overbooked(*fu, issue))
+            fail("fu-capacity",
+                 "a functional-unit pool is overbooked at cycle "
+                     + std::to_string(issue) + " ("
+                     + std::to_string(fu->bookedAt(issue)) + " > "
+                     + std::to_string(fu->capacity()) + ")");
+}
+
+void
 OooScheduler::emit(const DynInst &inst)
 {
     stats.instructions++;
@@ -217,7 +329,9 @@ OooScheduler::emit(const DynInst &inst)
     // the whole array and need the untouched slots zeroed.
     StallVector stall;
     unsigned touched = 0;
-    if (timelineCount)
+    // The auditor reads the whole vector (tiling conservation), so it
+    // needs the untouched slots zeroed just like timeline entries do.
+    if (timelineCount || auditing)
         stall.fill(0);
 
     // ----- operand / ordering readiness constraints (raw) -----
@@ -401,6 +515,10 @@ OooScheduler::emit(const DynInst &inst)
     retire = retireSlots.reserve(retire);
     lastRetire = retire;
 
+    if (auditing)
+        auditRetired(inst, fetch, dispatch, ready, issue, complete,
+                     retire, stall);
+
     // One unsigned compare covers both window bounds (seq below
     // timelineFirst wraps past any count).
     if (inst.seq - timelineFirst < timelineCount) {
@@ -446,9 +564,10 @@ OooScheduler::finish()
 
 SimStats
 simulate(isa::Machine &machine, const isa::Program &program,
-         const MachineConfig &config, uint64_t max_insts)
+         const MachineConfig &config, uint64_t max_insts,
+         ConfigPolicy policy)
 {
-    OooScheduler sched(config);
+    OooScheduler sched(config, policy);
     machine.run(program, &sched, max_insts);
     return sched.finish();
 }

@@ -40,6 +40,7 @@
 #include "sim/config.hh"
 #include "sim/resource.hh"
 #include "sim/stall.hh"
+#include "sim/validate.hh"
 
 namespace cryptarch::sim
 {
@@ -125,7 +126,21 @@ struct TimelineEntry
 class OooScheduler final : public isa::TraceSink
 {
   public:
-    explicit OooScheduler(const MachineConfig &config);
+    /**
+     * Construct for @p config. Under the default policy the config is
+     * canonicalized (validate.hh) and rejected with a typed
+     * ConfigRejected when invalid; ConfigPolicy::Trusted skips the
+     * admission layer (tests probing raw degenerate behavior).
+     *
+     * Even trusted schedulers keep the forward-progress watchdog: an
+     * issue retry loop that exceeds its budget (auto-scaled from the
+     * window size and latency chain, base overridable via
+     * CRYPTARCH_SIM_PROGRESS_BUDGET) throws a typed
+     * isa::Trap{NoProgress} carrying the stalled-frontier snapshot
+     * instead of spinning forever.
+     */
+    explicit OooScheduler(const MachineConfig &config,
+                          ConfigPolicy policy = ConfigPolicy::Validate);
 
     void emit(const isa::DynInst &inst) override;
 
@@ -172,9 +187,28 @@ class OooScheduler final : public isa::TraceSink
     /** Single prune entry point: drop bookkeeping below @p horizon in
      *  every per-cycle resource, the SBox-cache ports included. */
     void pruneResources(Cycle horizon);
+    /** Forward-progress watchdog trip: build and throw the typed
+     *  isa::Trap{NoProgress} with the stalled-frontier snapshot. */
+    [[noreturn]] void throwNoProgress(const isa::DynInst &inst,
+                                      Cycle ready, Cycle probed,
+                                      StallCause fuCause,
+                                      uint64_t slotWait,
+                                      uint64_t fuWait) const;
+    /** CRYPTARCH_SIM_AUDIT invariant checks on one retired
+     *  instruction; throws AuditError on the first violation. */
+    void auditRetired(const isa::DynInst &inst, Cycle fetch,
+                      Cycle dispatch, Cycle ready, Cycle issue,
+                      Cycle complete, Cycle retire,
+                      const StallVector &stall) const;
 
     MachineConfig cfg;
     SimStats stats;
+
+    // Hardening state: the watchdog's base FU-retry budget (the
+    // per-instruction allowance grows with instIndex, see issueOf) and
+    // whether the per-retired-instruction invariant auditor runs.
+    uint64_t progressBudgetBase = 0;
+    bool auditing = false;
 
     // Register scoreboard: completion cycle of the latest writer.
     std::array<Cycle, isa::num_regs> regReady{};
@@ -231,11 +265,13 @@ class OooScheduler final : public isa::TraceSink
 
 /**
  * Convenience wrapper: functionally execute @p program on @p machine
- * while timing it on @p config.
+ * while timing it on @p config. @p policy is the scheduler's config
+ * admission policy (see OooScheduler).
  */
 SimStats simulate(isa::Machine &machine, const isa::Program &program,
                   const MachineConfig &config,
-                  uint64_t max_insts = 1ull << 32);
+                  uint64_t max_insts = 1ull << 32,
+                  ConfigPolicy policy = ConfigPolicy::Validate);
 
 } // namespace cryptarch::sim
 

@@ -199,6 +199,16 @@ class CycleResource
 
     bool limited() const { return cap != unlimited; }
 
+    /** Per-cycle capacity (0 = unlimited). */
+    unsigned capacity() const { return cap; }
+
+    /**
+     * Units currently booked at @p cycle, without creating an entry.
+     * The invariant auditor checks bookings never exceed capacity;
+     * the scheduler itself never needs this read-only probe.
+     */
+    unsigned bookedAt(Cycle cycle) const { return countAt(cycle); }
+
     /** Number of live entries (the reference map's size()). */
     size_t entryCount() const { return entries; }
 

@@ -1,0 +1,138 @@
+#include "util/env.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+
+namespace cryptarch::util
+{
+
+namespace
+{
+
+std::atomic<uint64_t> warning_count{0};
+
+std::mutex warned_mutex;
+std::set<std::string> &
+warnedVars()
+{
+    static std::set<std::string> vars;
+    return vars;
+}
+
+/**
+ * Emit the typed warning for @p var once per process: repeated bad
+ * reads of the same variable (every sweep cell re-reading policy) must
+ * not turn one typo into thousands of stderr lines.
+ */
+void
+warnOnce(const char *var, const char *got, const std::string &accepted)
+{
+    {
+        std::lock_guard<std::mutex> lock(warned_mutex);
+        if (!warnedVars().insert(var).second)
+            return;
+    }
+    warning_count.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "cryptarch: ignoring unrecognized %s='%s' (accepted: "
+                 "%s); using the default\n",
+                 var, got, accepted.c_str());
+}
+
+} // namespace
+
+std::string
+describeEnvChoices(std::initializer_list<EnvChoice> choices)
+{
+    std::string out;
+    for (const auto &c : choices) {
+        if (!out.empty())
+            out += ", ";
+        out += c.name;
+    }
+    return out;
+}
+
+int
+envChoice(const char *var, std::initializer_list<EnvChoice> choices,
+          int dflt)
+{
+    const char *env = std::getenv(var);
+    if (!env)
+        return dflt;
+    for (const auto &c : choices)
+        if (std::strcmp(env, c.name) == 0)
+            return c.value;
+    warnOnce(var, env, describeEnvChoices(choices));
+    return dflt;
+}
+
+bool
+envFlag(const char *var, bool dflt)
+{
+    const char *env = std::getenv(var);
+    if (!env)
+        return dflt;
+    static constexpr const char *truthy[] = {"1", "on", "true", "yes"};
+    static constexpr const char *falsy[] = {"0", "off", "false", "no"};
+    for (const char *t : truthy)
+        if (std::strcmp(env, t) == 0)
+            return true;
+    for (const char *f : falsy)
+        if (std::strcmp(env, f) == 0)
+            return false;
+    warnOnce(var, env, "1, on, true, yes, 0, off, false, no");
+    return dflt;
+}
+
+uint64_t
+envU64(const char *var, uint64_t dflt)
+{
+    const char *env = std::getenv(var);
+    if (!env)
+        return dflt;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0') {
+        warnOnce(var, env, "an unsigned decimal integer");
+        return dflt;
+    }
+    return static_cast<uint64_t>(v);
+}
+
+double
+envDouble(const char *var, double dflt)
+{
+    const char *env = std::getenv(var);
+    if (!env)
+        return dflt;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    if (errno != 0 || end == env || *end != '\0' || v < 0) {
+        warnOnce(var, env, "a non-negative decimal number");
+        return dflt;
+    }
+    return v;
+}
+
+uint64_t
+envWarningCount()
+{
+    return warning_count.load(std::memory_order_relaxed);
+}
+
+void
+resetEnvWarningsForTesting()
+{
+    std::lock_guard<std::mutex> lock(warned_mutex);
+    warnedVars().clear();
+}
+
+} // namespace cryptarch::util

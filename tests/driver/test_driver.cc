@@ -158,12 +158,14 @@ TEST(Driver, JsonEmitterWritesSchema)
     std::string json = buf.str();
 
     EXPECT_NE(json.find("\"bench\": \"test\""), std::string::npos);
-    EXPECT_NE(json.find("\"schema\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 5"), std::string::npos);
     // Schema v4: top-level outcome counts (every outcome key, zeros
-    // included), worker attribution only on host-failed cells.
+    // included), worker attribution only on host-failed cells. v5
+    // appended the hardening outcomes to the count object.
     EXPECT_NE(json.find("\"outcomes\": {\"ok\": 1, \"trapped\": 0, "
                         "\"verify_failed\": 0, \"error\": 0, "
-                        "\"crashed\": 0, \"timed_out\": 0}"),
+                        "\"crashed\": 0, \"timed_out\": 0, "
+                        "\"rejected\": 0, \"stalled\": 0}"),
               std::string::npos);
     EXPECT_EQ(json.find("\"worker\": "), std::string::npos);
     // Schema v3: fail-soft outcome on every result, message only on
